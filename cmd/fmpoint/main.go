@@ -1,0 +1,90 @@
+// Command fmpoint evaluates one experimental configuration — profile, task,
+// dimensionality, cardinality, ε — and prints every method's cross-validated
+// accuracy and fit time. It is the single-point complement to fmbench's
+// sweeps: use it to reproduce an individual figure coordinate at full paper
+// scale without re-running a whole sweep.
+//
+// Usage:
+//
+//	fmpoint -profile=us -task=linear -dim=14 -epsilon=0.8 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"funcmech/internal/census"
+	"funcmech/internal/experiments"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "us", "census profile: us or brazil")
+		task    = flag.String("task", "linear", "regression task: linear or logistic")
+		dim     = flag.Int("dim", 14, "dimensionality incl. target (5, 8, 11, 14)")
+		eps     = flag.Float64("epsilon", experiments.DefaultEpsilon, "privacy budget ε")
+		records = flag.Int("records", 30000, "dataset cardinality cap")
+		full    = flag.Bool("full", false, "use the full census cardinality; overrides -records")
+		repeats = flag.Int("repeats", 1, "repetitions of the 5-fold protocol")
+		folds   = flag.Int("folds", 5, "cross-validation folds")
+		seed    = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	var p census.Profile
+	switch strings.ToLower(*profile) {
+	case "us":
+		p = census.US()
+	case "brazil":
+		p = census.Brazil()
+	default:
+		fail(fmt.Errorf("unknown profile %q", *profile))
+	}
+	kind := experiments.TaskLinear
+	switch strings.ToLower(*task) {
+	case "linear":
+	case "logistic":
+		kind = experiments.TaskLogistic
+	default:
+		fail(fmt.Errorf("unknown task %q", *task))
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Records = *records
+	if *full {
+		cfg.Records = 0
+	}
+	cfg.Repeats = *repeats
+	cfg.Folds = *folds
+	cfg.Dimensionality = *dim
+	cfg.BaseSeed = *seed
+
+	ds, err := experiments.PrepareTask(cfg, p, kind, *dim)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s-%v  n=%d  d=%d(+target)  ε=%g  %d×%d-fold CV\n",
+		p.Name, kind, ds.N(), ds.D(), *eps, cfg.Repeats, cfg.Folds)
+
+	res, err := experiments.EvaluateMethods(cfg, ds, kind, *eps,
+		fmt.Sprintf("point/%s/%v/%d/%g", p.Name, kind, *dim, *eps))
+	if err != nil {
+		fail(err)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "method\tmetric\tstddev\tfit seconds\tfailures\t")
+	for _, r := range res {
+		fmt.Fprintf(tw, "%s\t%.4g\t%.4g\t%.4g\t%d\t\n", r.Method, r.Metric, r.StdDev, r.FitSeconds, r.Failures)
+	}
+	if err := tw.Flush(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "fmpoint: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command fmrun fits an ε-differentially private regression on a CSV file
+// using the public funcmech API, printing the model weights and the privacy
+// report.
+//
+// The schema — column names with their public domain bounds — is given on
+// the command line, because the bounds must be domain knowledge rather than
+// statistics of the file (computing them from the data would leak).
+//
+// Usage:
+//
+//	fmrun -csv=data.csv -task=linear -epsilon=0.8 \
+//	      -features='age:16:95,hours:0:99' -target='income:0:300000'
+//
+//	fmrun -csv=data.csv -task=logistic -epsilon=0.8 -threshold=35000 \
+//	      -features='age:16:95,hours:0:99' -target='income:0:300000'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"funcmech"
+)
+
+func main() {
+	var (
+		csvPath   = flag.String("csv", "", "input CSV with a header row (required)")
+		task      = flag.String("task", "linear", "regression task: linear or logistic")
+		epsilon   = flag.Float64("epsilon", 0.8, "privacy budget ε")
+		features  = flag.String("features", "", "feature bounds, comma-separated name:min:max (required)")
+		target    = flag.String("target", "", "target bounds, name:min:max (required)")
+		threshold = flag.Float64("threshold", 0, "binarization threshold for logistic targets (0 = target already boolean)")
+		seed      = flag.Int64("seed", 0, "noise seed (0 = random)")
+		exact     = flag.Bool("exact", false, "also fit the non-private baseline for comparison")
+	)
+	flag.Parse()
+
+	if *csvPath == "" || *features == "" || *target == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	schema, err := parseSchema(*features, *target)
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	ds, err := funcmech.ReadDatasetCSV(f, schema)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("loaded %d records × %d features from %s\n", ds.Len(), ds.NumFeatures(), *csvPath)
+
+	var opts []funcmech.Option
+	if *seed != 0 {
+		opts = append(opts, funcmech.WithSeed(*seed))
+	}
+
+	switch *task {
+	case "linear":
+		model, report, err := funcmech.LinearRegression(ds, *epsilon, opts...)
+		if err != nil {
+			fail(err)
+		}
+		printReport(report)
+		printWeights(schema, model.Weights())
+		fmt.Printf("training MSE (raw units): %.6g\n", model.MSE(ds))
+		if *exact {
+			base, err := funcmech.LinearRegressionExact(ds)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("non-private MSE (raw units): %.6g\n", base.MSE(ds))
+		}
+	case "logistic":
+		if *threshold != 0 {
+			opts = append(opts, funcmech.WithBinarizeThreshold(*threshold))
+		}
+		model, report, err := funcmech.LogisticRegression(ds, *epsilon, opts...)
+		if err != nil {
+			fail(err)
+		}
+		printReport(report)
+		printWeights(schema, model.Weights())
+		if rate, err := model.MisclassificationRate(ds); err == nil {
+			fmt.Printf("training misclassification rate: %.4f\n", rate)
+		}
+	default:
+		fail(fmt.Errorf("unknown task %q (want linear or logistic)", *task))
+	}
+}
+
+func parseSchema(features, target string) (funcmech.Schema, error) {
+	var s funcmech.Schema
+	for _, spec := range strings.Split(features, ",") {
+		a, err := parseAttribute(spec)
+		if err != nil {
+			return s, err
+		}
+		s.Features = append(s.Features, a)
+	}
+	a, err := parseAttribute(target)
+	if err != nil {
+		return s, err
+	}
+	s.Target = a
+	return s, s.Validate()
+}
+
+func parseAttribute(spec string) (funcmech.Attribute, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) != 3 {
+		return funcmech.Attribute{}, fmt.Errorf("attribute %q: want name:min:max", spec)
+	}
+	lo, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return funcmech.Attribute{}, fmt.Errorf("attribute %q: bad min: %w", spec, err)
+	}
+	hi, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return funcmech.Attribute{}, fmt.Errorf("attribute %q: bad max: %w", spec, err)
+	}
+	return funcmech.Attribute{Name: parts[0], Min: lo, Max: hi}, nil
+}
+
+func printReport(r *funcmech.Report) {
+	fmt.Printf("privacy: ε spent %.4g, sensitivity Δ %.4g, noise scale %.4g, λ %.4g, trimmed %d, resamples %d\n",
+		r.Epsilon, r.Delta, r.NoiseScale, r.Lambda, r.Trimmed, r.Resamples)
+}
+
+func printWeights(s funcmech.Schema, w []float64) {
+	fmt.Println("weights (normalized feature space):")
+	for i, a := range s.Features {
+		fmt.Printf("  %-20s %+.6f\n", a.Name, w[i])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "fmrun: %v\n", err)
+	os.Exit(1)
+}

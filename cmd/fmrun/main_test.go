@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAttribute(t *testing.T) {
+	a, err := parseAttribute("age:16:95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "age" || a.Min != 16 || a.Max != 95 {
+		t.Fatalf("parsed %+v", a)
+	}
+}
+
+func TestParseAttributeTrimsSpace(t *testing.T) {
+	a, err := parseAttribute("  hours:0:99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "hours" {
+		t.Fatalf("parsed %+v", a)
+	}
+}
+
+func TestParseAttributeErrors(t *testing.T) {
+	for _, spec := range []string{"age", "age:1", "age:x:2", "age:1:y", "a:b:c:d"} {
+		if _, err := parseAttribute(spec); err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+}
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("age:16:95,hours:0:99", "income:0:300000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Features) != 2 || s.Target.Name != "income" {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestParseSchemaInvalid(t *testing.T) {
+	// Duplicate names fail schema validation.
+	if _, err := parseSchema("a:0:1,a:0:1", "y:0:1"); err == nil {
+		t.Error("duplicate features should fail")
+	}
+	// Empty domain.
+	if _, err := parseSchema("a:5:5", "y:0:1"); err == nil {
+		t.Error("empty domain should fail")
+	}
+	if _, err := parseSchema("a:0:1", "bad"); err == nil {
+		t.Error("malformed target should fail")
+	}
+}
+
+func TestParseSchemaPreservesOrder(t *testing.T) {
+	s, err := parseSchema("b:0:1,a:0:1,c:0:1", "y:0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(s.Features))
+	for i, f := range s.Features {
+		names[i] = f.Name
+	}
+	if strings.Join(names, ",") != "b,a,c" {
+		t.Fatalf("order not preserved: %v", names)
+	}
+}

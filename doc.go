@@ -1,0 +1,48 @@
+// Package funcmech is a Go implementation of the Functional Mechanism
+// (Zhang, Zhang, Xiao, Yang, Winslett: "Functional Mechanism: Regression
+// Analysis under Differential Privacy", PVLDB 5(11), 2012): ε-differentially
+// private linear and logistic regression that perturbs the polynomial
+// coefficients of the objective function instead of the regression output.
+//
+// # Quick start
+//
+//	schema := funcmech.Schema{
+//		Features: []funcmech.Attribute{
+//			{Name: "age", Min: 16, Max: 95},
+//			{Name: "hours", Min: 0, Max: 99},
+//		},
+//		Target: funcmech.Attribute{Name: "income", Min: 0, Max: 300000},
+//	}
+//	ds := funcmech.NewDataset(schema)
+//	for _, rec := range records {
+//		ds.Append([]float64{rec.Age, rec.Hours}, rec.Income)
+//	}
+//	model, report, err := funcmech.LinearRegression(ds, 0.8) // ε = 0.8
+//	if err != nil { ... }
+//	estimate := model.Predict([]float64{41, 40}) // raw units in, raw units out
+//
+// Attribute Min/Max bounds must be public domain knowledge (they calibrate
+// the normalization the privacy analysis requires); they must not be
+// computed from the sensitive data itself.
+//
+// # What the privacy guarantee covers
+//
+// The returned model weights are ε-differentially private with respect to
+// replacing any single record of the training dataset, per the paper's
+// Theorem 1. Everything else the library reports (the Report struct) is
+// derived from public parameters or from the already-private coefficients.
+// Randomness comes from math/rand seeded via options — fine for research and
+// reproduction, but calibrate expectations accordingly: a production
+// deployment against a capable adversary would swap in a cryptographic
+// source and guard against floating-point side channels, which are outside
+// this library's scope (as they were outside the paper's).
+//
+// # Architecture
+//
+// The public API wraps the internal packages, which mirror the paper:
+// internal/core implements Algorithms 1–2 and the §6 post-processing,
+// internal/baseline the DPME/FP/NoPrivacy/Truncated comparison methods,
+// internal/experiments the §7 evaluation harness (see cmd/fmbench), and
+// internal/{linalg,noise,poly,dataset,census,histogram,regression} the
+// substrates they stand on. See DESIGN.md for the full inventory.
+package funcmech

@@ -1,0 +1,71 @@
+// Budget sweep: a Figure 6-style study on your own data through the public
+// API — how regression accuracy degrades as the privacy budget ε tightens,
+// and what the Lemma 5 resampling variant costs compared to the paper's
+// regularize+trim pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"funcmech"
+)
+
+func main() {
+	schema := funcmech.Schema{
+		Features: []funcmech.Attribute{
+			{Name: "f1", Min: 0, Max: 1},
+			{Name: "f2", Min: 0, Max: 1},
+			{Name: "f3", Min: 0, Max: 1},
+			{Name: "f4", Min: 0, Max: 1},
+		},
+		Target: funcmech.Attribute{Name: "y", Min: -2, Max: 2},
+	}
+	truth := []float64{1.2, -0.8, 0.5, 0.3}
+
+	rng := rand.New(rand.NewSource(11))
+	train := funcmech.NewDataset(schema)
+	test := funcmech.NewDataset(schema)
+	for i := 0; i < 40_000; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		y := truth[0]*x[0] + truth[1]*x[1] + truth[2]*x[2] + truth[3]*x[3] + 0.1*rng.NormFloat64()
+		if i%5 == 0 {
+			test.Append(x, y)
+		} else {
+			train.Append(x, y)
+		}
+	}
+
+	exact, err := funcmech.LinearRegressionExact(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	floor := exact.NormalizedMSE(test)
+	fmt.Printf("non-private floor: normalized MSE %.5f\n\n", floor)
+	fmt.Printf("%8s  %18s  %18s\n", "ε", "regularize+trim", "resample (cost 2ε)")
+
+	const reps = 9
+	for _, eps := range []float64{0.1, 0.2, 0.4, 0.8, 1.6, 3.2} {
+		var trim, resample float64
+		for seed := int64(0); seed < reps; seed++ {
+			m1, _, err := funcmech.LinearRegression(train, eps, funcmech.WithSeed(seed))
+			if err != nil {
+				log.Fatal(err)
+			}
+			trim += m1.NormalizedMSE(test)
+			m2, _, err := funcmech.LinearRegression(train, eps,
+				funcmech.WithSeed(seed), funcmech.WithPostProcess(funcmech.Resample))
+			if err != nil {
+				log.Fatal(err)
+			}
+			resample += m2.NormalizedMSE(test)
+		}
+		fmt.Printf("%8.2f  %18.5f  %18.5f\n", eps, trim/reps, resample/reps)
+	}
+	fmt.Println("\nreading the table: at harsh budgets the noisy objective is frequently")
+	fmt.Println("unbounded, and resampling until it isn't (Lemma 5) wrecks accuracy while")
+	fmt.Println("also charging 2ε; at generous budgets resampling's lack of λ-bias shows.")
+	fmt.Println("regularize+trim (the paper's §6 pipeline) is the safe default: it never")
+	fmt.Println("fails, never doubles the budget, and degrades gracefully.")
+}

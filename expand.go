@@ -1,0 +1,69 @@
+package funcmech
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpandQuadraticFeatures returns a dataset whose feature set is the
+// original one plus every pairwise product xᵢ·xⱼ (i ≤ j, named "a*b"), with
+// product domain bounds derived by interval arithmetic from the public
+// per-feature bounds.
+//
+// Fitting LinearRegression on the expanded dataset yields a differentially
+// private degree-2 polynomial regression: the expansion is a record-local,
+// data-independent transformation, so the FM guarantee on the expanded
+// d(d+3)/2-dimensional problem carries over verbatim (at the cost of the
+// correspondingly larger sensitivity 2(d'+1)²).
+func ExpandQuadraticFeatures(ds *Dataset) (*Dataset, error) {
+	in := ds.Schema()
+	d := len(in.Features)
+	if d == 0 {
+		return nil, fmt.Errorf("funcmech: no features to expand")
+	}
+	out := Schema{Target: in.Target}
+	out.Features = append(out.Features, in.Features...)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			a, b := in.Features[i], in.Features[j]
+			lo, hi := intervalProduct(a.Min, a.Max, b.Min, b.Max)
+			out.Features = append(out.Features, Attribute{
+				Name: a.Name + "*" + b.Name,
+				Min:  lo,
+				Max:  hi,
+			})
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("funcmech: expanded schema invalid (duplicate product names?): %w", err)
+	}
+
+	exp := NewDataset(out)
+	row := make([]float64, len(out.Features))
+	for r := 0; r < ds.Len(); r++ {
+		src := ds.inner.Row(r)
+		copy(row, src)
+		k := d
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				row[k] = src[i] * src[j]
+				k++
+			}
+		}
+		exp.Append(row, ds.inner.Label(r))
+	}
+	return exp, nil
+}
+
+// intervalProduct returns the exact range of x·y for x∈[a,b], y∈[c,d].
+func intervalProduct(a, b, c, d float64) (lo, hi float64) {
+	lo, hi = a*c, a*c
+	for _, v := range []float64{a * d, b * c, b * d} {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo { // degenerate (e.g. one interval is {0}); keep schema valid
+		hi = lo + 1e-9
+	}
+	return lo, hi
+}

@@ -1,0 +1,136 @@
+package funcmech_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"funcmech"
+)
+
+func TestExpandQuadraticFeaturesSchema(t *testing.T) {
+	ds := funcmech.NewDataset(funcmech.Schema{
+		Features: []funcmech.Attribute{
+			{Name: "a", Min: -1, Max: 2},
+			{Name: "b", Min: 0, Max: 3},
+		},
+		Target: funcmech.Attribute{Name: "y", Min: 0, Max: 1},
+	})
+	ds.Append([]float64{1, 2}, 0.5)
+	exp, err := funcmech.ExpandQuadraticFeatures(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := exp.Schema()
+	// d + d(d+1)/2 = 2 + 3 features.
+	if len(s.Features) != 5 {
+		t.Fatalf("expanded to %d features, want 5", len(s.Features))
+	}
+	wantNames := []string{"a", "b", "a*a", "a*b", "b*b"}
+	for i, n := range wantNames {
+		if s.Features[i].Name != n {
+			t.Fatalf("feature %d named %q, want %q", i, s.Features[i].Name, n)
+		}
+	}
+	// Interval products: a*a ∈ [−2, 4] by naive interval arithmetic
+	// ([−1,2]² as a product of independent intervals), a*b ∈ [−3, 6].
+	aa := s.Features[2]
+	if aa.Min != -2 || aa.Max != 4 {
+		t.Fatalf("a*a bounds [%v, %v], want [−2, 4]", aa.Min, aa.Max)
+	}
+	ab := s.Features[3]
+	if ab.Min != -3 || ab.Max != 6 {
+		t.Fatalf("a*b bounds [%v, %v], want [−3, 6]", ab.Min, ab.Max)
+	}
+}
+
+func TestExpandQuadraticFeaturesValues(t *testing.T) {
+	ds := funcmech.NewDataset(funcmech.Schema{
+		Features: []funcmech.Attribute{
+			{Name: "a", Min: 0, Max: 10},
+			{Name: "b", Min: 0, Max: 10},
+		},
+		Target: funcmech.Attribute{Name: "y", Min: 0, Max: 1},
+	})
+	ds.Append([]float64{3, 4}, 0.5)
+	exp, err := funcmech.ExpandQuadraticFeatures(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := exp.Record(0)
+	want := []float64{3, 4, 9, 12, 16}
+	for i, w := range want {
+		if x[i] != w {
+			t.Fatalf("expanded row %v, want %v", x, want)
+		}
+	}
+	if y != 0.5 {
+		t.Fatalf("target %v, want 0.5", y)
+	}
+}
+
+// Private polynomial regression through the expansion: a pure quadratic
+// relationship becomes learnable.
+func TestExpandEnablesQuadraticFit(t *testing.T) {
+	schema := funcmech.Schema{
+		Features: []funcmech.Attribute{{Name: "x", Min: -1, Max: 1}},
+		Target:   funcmech.Attribute{Name: "y", Min: -0.5, Max: 1.5},
+	}
+	rng := rand.New(rand.NewSource(1))
+	train := funcmech.NewDataset(schema)
+	test := funcmech.NewDataset(schema)
+	for i := 0; i < 30000; i++ {
+		x := rng.Float64()*2 - 1
+		y := x*x + 0.02*rng.NormFloat64() // pure curvature
+		if i%5 == 0 {
+			test.Append([]float64{x}, y)
+		} else {
+			train.Append([]float64{x}, y)
+		}
+	}
+
+	flat, err := funcmech.LinearRegressionExact(train, funcmech.WithIntercept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expTrain, err := funcmech.ExpandQuadraticFeatures(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expTest, err := funcmech.ExpandQuadraticFeatures(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curved, _, err := funcmech.LinearRegression(expTrain, 3.2,
+		funcmech.WithSeed(2), funcmech.WithIntercept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, f := curved.MSE(expTest), flat.MSE(test); c >= f/3 {
+		t.Fatalf("quadratic expansion should slash error: expanded %v vs flat %v", c, f)
+	}
+}
+
+func TestExpandDegenerateInterval(t *testing.T) {
+	ds := funcmech.NewDataset(funcmech.Schema{
+		Features: []funcmech.Attribute{{Name: "a", Min: -1, Max: 1}},
+		Target:   funcmech.Attribute{Name: "y", Min: 0, Max: 1},
+	})
+	ds.Append([]float64{0}, 0)
+	exp, err := funcmech.ExpandQuadraticFeatures(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a*a over [−1,1] has naive product range [−1,1]; fine. The degenerate
+	// guard matters for zero-width cases, which schema validation rejects
+	// upstream, so just confirm the expansion is usable end to end.
+	if err := exp.Schema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if exp.NumFeatures() != 2 {
+		t.Fatalf("NumFeatures = %d, want 2", exp.NumFeatures())
+	}
+	x, _ := exp.Record(0)
+	if x[1] != 0 {
+		t.Fatalf("0² = %v", x[1])
+	}
+}

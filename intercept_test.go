@@ -1,0 +1,142 @@
+package funcmech_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"funcmech"
+)
+
+// offsetDataset has a target with a strong constant offset — un-learnable
+// without a bias term.
+func offsetDataset(n int, seed int64) *funcmech.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	schema := funcmech.Schema{
+		Features: []funcmech.Attribute{{Name: "x", Min: 0, Max: 1}},
+		Target:   funcmech.Attribute{Name: "y", Min: 0, Max: 10},
+	}
+	ds := funcmech.NewDataset(schema)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		// The offset 2 is far from the target-domain midpoint 5, so the
+		// [−1,1] normalization cannot absorb it — a bias term is required.
+		ds.Append([]float64{x}, 2+2*x+0.05*rng.NormFloat64())
+	}
+	return ds
+}
+
+func TestInterceptFixesOffsetLinear(t *testing.T) {
+	train := offsetDataset(20000, 1)
+	test := offsetDataset(2000, 2)
+
+	plain, err := funcmech.LinearRegressionExact(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased, err := funcmech.LinearRegressionExact(train, funcmech.WithIntercept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, p := biased.MSE(test), plain.MSE(test); b >= p/4 {
+		t.Fatalf("intercept should slash offset error: with %v, without %v", b, p)
+	}
+	if len(biased.Weights()) != 2 {
+		t.Fatalf("intercept model has %d weights, want 2", len(biased.Weights()))
+	}
+	// Predictions at x=0 must be near the baseline 2.
+	if p := biased.Predict([]float64{0}); math.Abs(p-2) > 0.2 {
+		t.Fatalf("prediction at origin %v, want ≈ 2", p)
+	}
+}
+
+func TestInterceptPrivateLinear(t *testing.T) {
+	train := offsetDataset(30000, 3)
+	test := offsetDataset(2000, 4)
+	m, report, err := funcmech.LinearRegression(train, 3.2,
+		funcmech.WithSeed(5), funcmech.WithIntercept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d grows from 1 to 2 ⇒ Δ = 2(2+1)² = 18.
+	if report.Delta != 18 {
+		t.Fatalf("Delta = %v, want 18", report.Delta)
+	}
+	exact, err := funcmech.LinearRegressionExact(train, funcmech.WithIntercept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, e := m.MSE(test), exact.MSE(test); b > 4*e+0.05 {
+		t.Fatalf("private intercept MSE %v vs exact %v", b, e)
+	}
+}
+
+func TestInterceptLogistic(t *testing.T) {
+	// P(y=1) = σ(−4 + 6x): strongly offset — hopeless without a bias.
+	rng := rand.New(rand.NewSource(6))
+	schema := funcmech.Schema{
+		Features: []funcmech.Attribute{{Name: "x", Min: 0, Max: 1}},
+		Target:   funcmech.Attribute{Name: "y", Min: 0, Max: 1},
+	}
+	train := funcmech.NewDataset(schema)
+	test := funcmech.NewDataset(schema)
+	for i := 0; i < 20000; i++ {
+		x := rng.Float64()
+		y := 0.0
+		if rng.Float64() < 1/(1+math.Exp(4-6*x)) {
+			y = 1
+		}
+		if i%5 == 0 {
+			test.Append([]float64{x}, y)
+		} else {
+			train.Append([]float64{x}, y)
+		}
+	}
+	plain, err := funcmech.LogisticRegressionExact(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased, err := funcmech.LogisticRegressionExact(train, funcmech.WithIntercept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPlain, err := plain.MisclassificationRate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBiased, err := biased.MisclassificationRate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBiased >= rPlain-0.05 {
+		t.Fatalf("intercept should clearly help: with %v, without %v", rBiased, rPlain)
+	}
+
+	private, _, err := funcmech.LogisticRegression(train, 3.2,
+		funcmech.WithSeed(7), funcmech.WithIntercept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPrivate, err := private.MisclassificationRate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rPrivate > rBiased+0.12 {
+		t.Fatalf("private intercept rate %v vs exact %v", rPrivate, rBiased)
+	}
+}
+
+func TestInterceptMSEConsistency(t *testing.T) {
+	ds := offsetDataset(3000, 8)
+	m, _, err := funcmech.LinearRegression(ds, 3.2, funcmech.WithSeed(9), funcmech.WithIntercept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NormalizedMSE and raw MSE stay affinely consistent with an intercept.
+	width := 10.0
+	norm := m.NormalizedMSE(ds)
+	raw := m.MSE(ds)
+	if got := norm * (width / 2) * (width / 2); math.Abs(got-raw)/raw > 1e-9 {
+		t.Fatalf("unit conversion inconsistent with intercept: %v vs %v", got, raw)
+	}
+}

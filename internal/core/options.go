@@ -1,0 +1,74 @@
+package core
+
+import "fmt"
+
+// PostProcess selects how the mechanism repairs a noisy objective that has
+// no minimum (paper §6).
+type PostProcess int
+
+const (
+	// PostProcessRegularizeAndTrim applies ridge regularization (§6.1) and,
+	// when the regularized matrix is still not positive definite, spectral
+	// trimming (§6.2). This is the paper's recommended pipeline and the
+	// default.
+	PostProcessRegularizeAndTrim PostProcess = iota
+	// PostProcessRegularizeOnly applies only §6.1; the run fails with
+	// ErrUnbounded when regularization is not enough.
+	PostProcessRegularizeOnly
+	// PostProcessResample re-perturbs until the objective is bounded
+	// (Lemma 5), doubling the privacy cost to 2ε.
+	PostProcessResample
+	// PostProcessNone performs no repair; unbounded objectives fail.
+	PostProcessNone
+)
+
+// String implements fmt.Stringer.
+func (p PostProcess) String() string {
+	switch p {
+	case PostProcessRegularizeAndTrim:
+		return "regularize+trim"
+	case PostProcessRegularizeOnly:
+		return "regularize"
+	case PostProcessResample:
+		return "resample"
+	case PostProcessNone:
+		return "none"
+	default:
+		return fmt.Sprintf("PostProcess(%d)", int(p))
+	}
+}
+
+// Options tunes a mechanism run. The zero value reproduces the paper's
+// configuration.
+type Options struct {
+	// PostProcess selects the §6 repair strategy.
+	PostProcess PostProcess
+	// LambdaFactor scales the regularization weight: λ = LambdaFactor ×
+	// sd(Lap(Δ/ε)). The paper observes 4 works well (§6.1); 0 means 4.
+	LambdaFactor float64
+	// MaxResamples caps the Lemma 5 retry loop (0 means 64).
+	MaxResamples int
+}
+
+func (o Options) withDefaults() Options {
+	if o.LambdaFactor == 0 {
+		o.LambdaFactor = 4
+	}
+	if o.MaxResamples == 0 {
+		o.MaxResamples = 64
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.LambdaFactor < 0 {
+		return fmt.Errorf("core: negative LambdaFactor %v", o.LambdaFactor)
+	}
+	if o.MaxResamples < 0 {
+		return fmt.Errorf("core: negative MaxResamples %d", o.MaxResamples)
+	}
+	if o.PostProcess < PostProcessRegularizeAndTrim || o.PostProcess > PostProcessNone {
+		return fmt.Errorf("core: unknown PostProcess %d", int(o.PostProcess))
+	}
+	return nil
+}

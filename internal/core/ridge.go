@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"funcmech/internal/dataset"
+	"funcmech/internal/poly"
+)
+
+// RidgeTask is linear regression with an L2 penalty added to the objective:
+//
+//	f_D(ω) = Σᵢ (yᵢ − xᵢᵀω)² + weight·‖ω‖²
+//
+// The §6.1 post-processing already adds a noise-calibrated ridge to repair
+// unbounded objectives; RidgeTask instead makes regularization part of the
+// *statistical* model (Hoerl–Kennard shrinkage, the paper's reference [14]),
+// chosen a priori by the analyst. The penalty is a deterministic function of
+// ω alone — it involves no data — so the per-tuple coefficients, and
+// therefore the sensitivity Δ, are exactly LinearTask's, and Algorithm 1
+// applies unchanged.
+type RidgeTask struct {
+	// Weight is the L2 penalty coefficient; must be non-negative.
+	Weight float64
+}
+
+// Name implements Task.
+func (r RidgeTask) Name() string { return fmt.Sprintf("ridge(%g)", r.Weight) }
+
+// Sensitivity equals LinearTask's 2(d+1)²: the penalty term contributes no
+// per-tuple coefficients.
+func (r RidgeTask) Sensitivity(d int) float64 { return LinearTask{}.Sensitivity(d) }
+
+// Objective returns the penalized quadratic: LinearTask's plus Weight·I on
+// the second-order matrix.
+func (r RidgeTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
+	if r.Weight < 0 {
+		panic(fmt.Sprintf("core: negative ridge weight %v", r.Weight))
+	}
+	q := LinearTask{}.Objective(ds)
+	q.M.AddDiagonal(r.Weight)
+	return q
+}
+
+// Validate matches LinearTask's preconditions.
+func (r RidgeTask) Validate(ds *dataset.Dataset) error { return LinearTask{}.Validate(ds) }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"funcmech/internal/linalg"
+	"funcmech/internal/poly"
+)
+
+// SpectralTrim implements paper §6.2: given a (typically regularized but
+// still non-positive-definite) noisy quadratic f̄(ω) = ωᵀM*ω + α*ᵀω + β*,
+// eigendecompose M* = QᵀΛQ, delete the non-positive eigenvalues (and the
+// matching rows of Q), minimize the now-bounded
+//
+//	ḡ(V) = VᵀΛ'V + (α*ᵀQ'ᵀ)V + β*,  V = Q'ω,
+//
+// at V* = −½Λ'⁻¹Q'α*, and return the minimum-norm preimage ω = Q'ᵀV*.
+// The second return value is the number of eigenvalues removed.
+//
+// When every eigenvalue is non-positive the quadratic part vanishes
+// entirely; the projected objective is constant, every ω attains it, and the
+// minimum-norm representative ω = 0 is returned with trimmed = d. The whole
+// procedure depends only on the noisy coefficients, so it is free
+// post-processing under differential privacy.
+func SpectralTrim(q *poly.Quadratic) (w []float64, trimmed int, err error) {
+	d := q.Dim()
+	eig, err := linalg.EigenSymmetric(q.M)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: spectral trimming: %w", err)
+	}
+	keep := eig.PositiveCount()
+	trimmed = d - keep
+	if keep == 0 {
+		return make([]float64, d), trimmed, nil
+	}
+
+	// Q' is the keep×d matrix of eigenvectors with positive eigenvalues
+	// (eigenvalues are sorted descending, so they are the first rows).
+	qa := eig.Q.MulVec(q.Alpha)[:keep] // Q'α*
+	v := make([]float64, keep)
+	for i := 0; i < keep; i++ {
+		v[i] = -qa[i] / (2 * eig.Values[i])
+	}
+	// ω = Q'ᵀV*: expand through the kept eigenvector rows.
+	w = make([]float64, d)
+	for i := 0; i < keep; i++ {
+		linalg.AXPY(v[i], eig.Q.Row(i), w)
+	}
+	if !linalg.AllFinite(w) {
+		return nil, trimmed, fmt.Errorf("%w: trimming produced a non-finite solution", ErrUnbounded)
+	}
+	return w, trimmed, nil
+}

@@ -1,0 +1,173 @@
+// Package core implements the paper's contribution: the Functional
+// Mechanism (FM), which achieves ε-differential privacy for
+// optimization-based analyses by perturbing the polynomial coefficients of
+// the objective function rather than its result.
+//
+// The pipeline is exactly the paper's:
+//
+//   - A Task supplies the degree-2 polynomial objective — exact for linear
+//     regression (§4.2), the truncated Taylor expansion of Algorithm 2 for
+//     logistic regression (§5) — together with its analytic sensitivity
+//     Δ = 2·max_t Σⱼ Σ_{φ∈Φⱼ} |λ_φt|.
+//   - Perturb draws one Lap(Δ/ε) variate per monomial of the complete
+//     degree-≤2 basis (Algorithm 1, lines 2–7). The quadratic part is
+//     perturbed per unique monomial and mirrored across the matrix diagonal
+//     (§6.1).
+//   - Post-processing repairs unbounded noisy objectives without touching
+//     the data again: ridge regularization with λ = 4·sd(noise) (§6.1),
+//     spectral trimming of non-positive eigenvalues (§6.2), or the Lemma 5
+//     resampling variant at doubled privacy cost.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"funcmech/internal/dataset"
+	"funcmech/internal/poly"
+)
+
+// Task describes one regression family to the mechanism: how to build its
+// (possibly approximated) degree-2 objective and what the analytic
+// sensitivity of that objective's coefficients is.
+//
+// Sensitivity must be a data-independent function of the dimensionality —
+// computing it from the records would itself leak — which is why each task
+// carries the paper's closed-form bound.
+type Task interface {
+	// Name identifies the task ("linear", "logistic").
+	Name() string
+	// Sensitivity returns Δ for feature dimensionality d.
+	Sensitivity(d int) float64
+	// Objective builds f̂_D(ω) as a dense quadratic.
+	Objective(ds *dataset.Dataset) *poly.Quadratic
+	// Validate checks the geometric preconditions the sensitivity bound
+	// relies on (unit-sphere features; target range).
+	Validate(ds *dataset.Dataset) error
+}
+
+// normTolerance forgives float round-off when checking ‖x‖ ≤ 1.
+const normTolerance = 1e-9
+
+// LinearTask is least-squares linear regression (Definition 1).
+type LinearTask struct{}
+
+// Name implements Task.
+func (LinearTask) Name() string { return "linear" }
+
+// Sensitivity returns the paper's §4.2 bound Δ = 2(1+2d+d²) = 2(d+1)².
+func (LinearTask) Sensitivity(d int) float64 {
+	dd := float64(d)
+	return 2 * (dd + 1) * (dd + 1)
+}
+
+// Objective returns the exact quadratic of §4.2:
+// M = XᵀX, α = −2Xᵀy, β = Σyᵢ².
+func (LinearTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
+	q := poly.NewQuadratic(ds.D())
+	for i := 0; i < ds.N(); i++ {
+		x := ds.Row(i)
+		y := ds.Label(i)
+		for a, va := range x {
+			if va != 0 {
+				row := q.M.Row(a)
+				for b, vb := range x {
+					row[b] += va * vb
+				}
+			}
+			q.Alpha[a] -= 2 * y * va
+		}
+		q.Beta += y * y
+	}
+	return q
+}
+
+// Validate checks ‖xᵢ‖₂ ≤ 1 and yᵢ ∈ [−1, 1].
+func (LinearTask) Validate(ds *dataset.Dataset) error {
+	if ds == nil || ds.N() == 0 {
+		return fmt.Errorf("core: empty dataset")
+	}
+	if n := dataset.MaxRowNorm(ds); n > 1+normTolerance {
+		return fmt.Errorf("core: feature vectors exceed the unit sphere (max ‖x‖₂ = %v); normalize first", n)
+	}
+	for i := 0; i < ds.N(); i++ {
+		if y := ds.Label(i); y < -1-normTolerance || y > 1+normTolerance {
+			return fmt.Errorf("core: linear target must lie in [−1,1], record %d has %v", i, y)
+		}
+	}
+	return nil
+}
+
+// LogisticTask is logistic regression (Definition 2) through the order-2
+// Taylor truncation of Algorithm 2.
+type LogisticTask struct{}
+
+// Name implements Task.
+func (LogisticTask) Name() string { return "logistic" }
+
+// Sensitivity returns the paper's §5.3 bound Δ = d²/4 + 3d.
+func (LogisticTask) Sensitivity(d int) float64 {
+	dd := float64(d)
+	return dd*dd/4 + 3*dd
+}
+
+// Objective returns the truncated objective of §5.3:
+// M = ⅛·XᵀX, α = Σᵢ(½−yᵢ)xᵢ, β = n·log 2, from the Taylor values
+// f₁⁽⁰⁾(0)=log 2, f₁⁽¹⁾(0)=½, f₁⁽²⁾(0)=¼.
+func (LogisticTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
+	q := poly.NewQuadratic(ds.D())
+	for i := 0; i < ds.N(); i++ {
+		x := ds.Row(i)
+		y := ds.Label(i)
+		c := 0.5 - y
+		for a, va := range x {
+			if va != 0 {
+				row := q.M.Row(a)
+				for b, vb := range x {
+					row[b] += va * vb / 8
+				}
+			}
+			q.Alpha[a] += c * va
+		}
+	}
+	q.Beta = float64(ds.N()) * math.Ln2
+	return q
+}
+
+// Validate checks ‖xᵢ‖₂ ≤ 1 and yᵢ ∈ {0, 1}.
+func (LogisticTask) Validate(ds *dataset.Dataset) error {
+	if ds == nil || ds.N() == 0 {
+		return fmt.Errorf("core: empty dataset")
+	}
+	if n := dataset.MaxRowNorm(ds); n > 1+normTolerance {
+		return fmt.Errorf("core: feature vectors exceed the unit sphere (max ‖x‖₂ = %v); normalize first", n)
+	}
+	for i := 0; i < ds.N(); i++ {
+		if y := ds.Label(i); y != 0 && y != 1 {
+			return fmt.Errorf("core: logistic target must be boolean, record %d has %v", i, y)
+		}
+	}
+	return nil
+}
+
+// TupleCoefL1 returns Σⱼ Σ_{φ∈Φⱼ} |λ_φt| for a single tuple under the given
+// task — the quantity whose doubled maximum is Δ (Algorithm 1, line 1).
+// Exposed for tests, which verify Δ dominates 2× this value over random
+// in-sphere tuples.
+func TupleCoefL1(task Task, x []float64, y float64) float64 {
+	one := dataset.New(&dataset.Schema{
+		Features: unitFeatures(len(x)),
+		Target:   dataset.Attribute{Name: "y", Min: -1, Max: 1},
+	})
+	one.Append(x, y)
+	p := task.Objective(one).ToPolynomial()
+	return p.CoefL1Norm(0)
+}
+
+func unitFeatures(d int) []dataset.Attribute {
+	fs := make([]dataset.Attribute, d)
+	for j := range fs {
+		fs[j] = dataset.Attribute{Name: fmt.Sprintf("x%d", j), Min: -1, Max: 1}
+	}
+	return fs
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"funcmech/internal/dataset"
+	"funcmech/internal/poly"
+)
+
+func unitSchema(d int) *dataset.Schema {
+	return &dataset.Schema{
+		Features: unitFeatures(d),
+		Target:   dataset.Attribute{Name: "y", Min: -1, Max: 1},
+	}
+}
+
+// figure2Dataset is the paper's §4.2 example: (1,0.4), (0.9,0.3), (−0.5,−1).
+func figure2Dataset() *dataset.Dataset {
+	ds := dataset.New(unitSchema(1))
+	ds.Append([]float64{1}, 0.4)
+	ds.Append([]float64{0.9}, 0.3)
+	ds.Append([]float64{-0.5}, -1)
+	return ds
+}
+
+func TestLinearObjectiveFigure2Golden(t *testing.T) {
+	q := LinearTask{}.Objective(figure2Dataset())
+	if got := q.M.At(0, 0); math.Abs(got-2.06) > 1e-12 {
+		t.Errorf("M = %v, want 2.06", got)
+	}
+	if got := q.Alpha[0]; math.Abs(got+2.34) > 1e-12 {
+		t.Errorf("α = %v, want −2.34", got)
+	}
+	if math.Abs(q.Beta-1.25) > 1e-12 {
+		t.Errorf("β = %v, want 1.25", q.Beta)
+	}
+}
+
+func TestLinearSensitivityGolden(t *testing.T) {
+	// §4.2: Δ = 2(d+1)²; the worked example sets d=1 ⇒ Δ = 8.
+	if got := (LinearTask{}).Sensitivity(1); got != 8 {
+		t.Errorf("Δ(1) = %v, want 8", got)
+	}
+	if got := (LinearTask{}).Sensitivity(13); got != 392 {
+		t.Errorf("Δ(13) = %v, want 392", got)
+	}
+}
+
+func TestLogisticSensitivityGolden(t *testing.T) {
+	// §5.3: Δ = d²/4 + 3d.
+	if got := (LogisticTask{}).Sensitivity(2); got != 7 {
+		t.Errorf("Δ(2) = %v, want 7", got)
+	}
+	if got := (LogisticTask{}).Sensitivity(13); math.Abs(got-(169.0/4+39)) > 1e-12 {
+		t.Errorf("Δ(13) = %v, want %v", got, 169.0/4+39)
+	}
+}
+
+func randomSphereTuple(rng *rand.Rand, d int) ([]float64, float64) {
+	x := make([]float64, d)
+	var n float64
+	for j := range x {
+		x[j] = rng.NormFloat64()
+		n += x[j] * x[j]
+	}
+	n = math.Sqrt(n)
+	r := math.Pow(rng.Float64(), 1/float64(d)) // uniform radius in the ball
+	if n > 0 {
+		for j := range x {
+			x[j] = x[j] / n * r
+		}
+	}
+	return x, rng.Float64()*2 - 1
+}
+
+// Property: Algorithm 1 line 1 — Δ dominates 2·Σ|λ_φt| for every in-sphere
+// tuple, for both tasks. This is the inequality the privacy proof
+// (Theorem 1 via Lemma 1) rests on.
+func TestSensitivityDominatesTupleCoefficientsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(8)
+		x, y := randomSphereTuple(rng, d)
+
+		if 2*TupleCoefL1(LinearTask{}, x, y) > (LinearTask{}).Sensitivity(d)+1e-9 {
+			return false
+		}
+		ybin := float64(rng.Intn(2))
+		return 2*TupleCoefL1(LogisticTask{}, x, ybin) <= (LogisticTask{}).Sensitivity(d)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dense logistic objective must agree with the generic Algorithm 2
+// machinery (Taylor truncation via internal/poly) summed over tuples.
+func TestLogisticObjectiveMatchesTaylorExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := 3
+	s := &dataset.Schema{Features: unitFeatures(d), Target: dataset.Attribute{Name: "y", Min: 0, Max: 1}}
+	ds := dataset.New(s)
+	for i := 0; i < 40; i++ {
+		x, _ := randomSphereTuple(rng, d)
+		ds.Append(x, float64(rng.Intn(2)))
+	}
+	direct := LogisticTask{}.Objective(ds)
+
+	sum := poly.NewPolynomial(d)
+	for i := 0; i < ds.N(); i++ {
+		sum.Add(poly.ExpandTruncated(poly.LogisticComponents(ds.Row(i), ds.Label(i))))
+	}
+	if !direct.ToPolynomial().EqualApprox(sum, 1e-9) {
+		t.Fatalf("dense objective diverges from Taylor machinery:\n%v\nvs\n%v",
+			direct.ToPolynomial(), sum)
+	}
+}
+
+func TestLinearValidateRejectsBadGeometry(t *testing.T) {
+	big := dataset.New(&dataset.Schema{
+		Features: []dataset.Attribute{{Name: "x", Min: -10, Max: 10}},
+		Target:   dataset.Attribute{Name: "y", Min: -1, Max: 1},
+	})
+	big.Append([]float64{5}, 0) // ‖x‖ = 5 > 1
+	if err := (LinearTask{}).Validate(big); err == nil {
+		t.Error("expected error for out-of-sphere features")
+	}
+
+	badY := dataset.New(unitSchema(1))
+	badY.Append([]float64{0.5}, 3)
+	if err := (LinearTask{}).Validate(badY); err == nil {
+		t.Error("expected error for out-of-range target")
+	}
+
+	if err := (LinearTask{}).Validate(dataset.New(unitSchema(1))); err == nil {
+		t.Error("expected error for empty dataset")
+	}
+}
+
+func TestLogisticValidateRejectsNonBoolean(t *testing.T) {
+	ds := dataset.New(unitSchema(1))
+	ds.Append([]float64{0.5}, 0.5)
+	if err := (LogisticTask{}).Validate(ds); err == nil {
+		t.Error("expected error for fractional target")
+	}
+}
+
+func TestTaskNames(t *testing.T) {
+	if (LinearTask{}).Name() != "linear" || (LogisticTask{}).Name() != "logistic" {
+		t.Fatal("task names wrong")
+	}
+}
+
+func TestLogisticObjectiveBetaIsNLn2(t *testing.T) {
+	ds := dataset.New(unitSchema(2))
+	for i := 0; i < 7; i++ {
+		ds.Append([]float64{0.1, 0.1}, float64(i%2))
+	}
+	q := LogisticTask{}.Objective(ds)
+	if want := 7 * math.Ln2; math.Abs(q.Beta-want) > 1e-12 {
+		t.Fatalf("β = %v, want %v", q.Beta, want)
+	}
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() {
+		t.Fatalf("N = %d, want %d", back.N(), ds.N())
+	}
+	for i := 0; i < ds.N(); i++ {
+		for j := 0; j < ds.D(); j++ {
+			if back.Row(i)[j] != ds.Row(i)[j] {
+				t.Fatalf("record %d col %d: %v != %v", i, j, back.Row(i)[j], ds.Row(i)[j])
+			}
+		}
+		if back.Label(i) != ds.Label(i) {
+			t.Fatalf("label %d: %v != %v", i, back.Label(i), ds.Label(i))
+		}
+	}
+}
+
+func TestCSVHeaderWritten(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if first != "age,hours,income" {
+		t.Fatalf("header = %q", first)
+	}
+}
+
+func TestReadCSVWrongHeader(t *testing.T) {
+	in := "age,wrong,income\n30,40,50000\n"
+	if _, err := ReadCSV(strings.NewReader(in), testSchema()); err == nil {
+		t.Fatal("expected header mismatch error")
+	}
+}
+
+func TestReadCSVWrongTarget(t *testing.T) {
+	in := "age,hours,salary\n30,40,50000\n"
+	if _, err := ReadCSV(strings.NewReader(in), testSchema()); err == nil {
+		t.Fatal("expected target mismatch error")
+	}
+}
+
+func TestReadCSVBadFloat(t *testing.T) {
+	in := "age,hours,income\n30,abc,50000\n"
+	_, err := ReadCSV(strings.NewReader(in), testSchema())
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("expected line-numbered parse error, got %v", err)
+	}
+}
+
+func TestReadCSVBadTargetValue(t *testing.T) {
+	in := "age,hours,income\n30,40,oops\n"
+	if _, err := ReadCSV(strings.NewReader(in), testSchema()); err == nil {
+		t.Fatal("expected target parse error")
+	}
+}
+
+func TestReadCSVWrongFieldCount(t *testing.T) {
+	in := "age,hours,income\n30,40\n"
+	if _, err := ReadCSV(strings.NewReader(in), testSchema()); err == nil {
+		t.Fatal("expected field-count error")
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	in := "age,hours,income\n"
+	ds, err := ReadCSV(strings.NewReader(in), testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 0 {
+		t.Fatalf("N = %d, want 0", ds.N())
+	}
+}

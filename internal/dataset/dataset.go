@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Dataset is an in-memory table: n feature rows plus the target column.
+// Rows are treated as immutable once appended; subset operations share row
+// storage with their parent.
+type Dataset struct {
+	Schema *Schema
+	xs     [][]float64
+	ys     []float64
+}
+
+// New returns an empty dataset with the given schema.
+func New(s *Schema) *Dataset {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return &Dataset{Schema: s}
+}
+
+// NewWithCapacity returns an empty dataset pre-sized for n rows.
+func NewWithCapacity(s *Schema, n int) *Dataset {
+	d := New(s)
+	d.xs = make([][]float64, 0, n)
+	d.ys = make([]float64, 0, n)
+	return d
+}
+
+// Append adds one record. The feature slice is stored without copying; the
+// caller must not mutate it afterwards.
+func (d *Dataset) Append(x []float64, y float64) {
+	if len(x) != d.Schema.D() {
+		panic(fmt.Sprintf("dataset: Append row with %d features, schema has %d", len(x), d.Schema.D()))
+	}
+	d.xs = append(d.xs, x)
+	d.ys = append(d.ys, y)
+}
+
+// N returns the number of records.
+func (d *Dataset) N() int { return len(d.xs) }
+
+// D returns the number of feature attributes.
+func (d *Dataset) D() int { return d.Schema.D() }
+
+// Row returns the feature vector of record i (not a copy).
+func (d *Dataset) Row(i int) []float64 { return d.xs[i] }
+
+// Label returns the target value of record i.
+func (d *Dataset) Label(i int) float64 { return d.ys[i] }
+
+// Labels returns the full target column (not a copy).
+func (d *Dataset) Labels() []float64 { return d.ys }
+
+// Subset returns a dataset view containing the rows at the given indices.
+// Row storage is shared with the receiver.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := NewWithCapacity(d.Schema, len(idx))
+	for _, i := range idx {
+		if i < 0 || i >= d.N() {
+			panic(fmt.Sprintf("dataset: Subset index %d out of range [0,%d)", i, d.N()))
+		}
+		out.xs = append(out.xs, d.xs[i])
+		out.ys = append(out.ys, d.ys[i])
+	}
+	return out
+}
+
+// Sample returns a uniform random subset with the given sampling rate in
+// (0, 1]; the paper's cardinality sweep uses rates 0.1 … 1.0. Rows keep
+// their relative order.
+func (d *Dataset) Sample(rng *rand.Rand, rate float64) *Dataset {
+	if rate <= 0 || rate > 1 {
+		panic(fmt.Sprintf("dataset: sampling rate %v outside (0,1]", rate))
+	}
+	if rate == 1 {
+		return d.Subset(sequence(d.N()))
+	}
+	k := int(float64(d.N())*rate + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(d.N())[:k]
+	// Restore order for determinism of downstream folds.
+	idx := append([]int(nil), perm...)
+	sort.Ints(idx)
+	return d.Subset(idx)
+}
+
+// Project returns a dataset restricted to the named feature columns,
+// copying the selected values into fresh rows.
+func (d *Dataset) Project(names []string) (*Dataset, error) {
+	ps, err := d.Schema.Project(names)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]int, len(names))
+	for i, n := range names {
+		cols[i] = d.Schema.FeatureIndex(n)
+	}
+	out := NewWithCapacity(ps, d.N())
+	for r := 0; r < d.N(); r++ {
+		row := make([]float64, len(cols))
+		src := d.xs[r]
+		for i, c := range cols {
+			row[i] = src[c]
+		}
+		out.Append(row, d.ys[r])
+	}
+	return out, nil
+}
+
+// BinarizeTarget returns a copy whose target is 1 when y > threshold and 0
+// otherwise, with the target domain updated to {0,1} — the paper's
+// conversion of Annual Income for logistic regression (§7).
+func (d *Dataset) BinarizeTarget(threshold float64) *Dataset {
+	s := d.Schema.Clone()
+	s.Target = Attribute{Name: s.Target.Name, Min: 0, Max: 1}
+	out := NewWithCapacity(s, d.N())
+	for i := 0; i < d.N(); i++ {
+		y := 0.0
+		if d.ys[i] > threshold {
+			y = 1
+		}
+		out.Append(d.xs[i], y)
+	}
+	return out
+}
+
+// Clone returns a deep copy (rows included).
+func (d *Dataset) Clone() *Dataset {
+	out := NewWithCapacity(d.Schema.Clone(), d.N())
+	for i := 0; i < d.N(); i++ {
+		row := append([]float64(nil), d.xs[i]...)
+		out.Append(row, d.ys[i])
+	}
+	return out
+}
+
+func sequence(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

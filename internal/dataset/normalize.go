@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalizer rescales records into the geometry the paper's sensitivity
+// analysis assumes (§3, footnote 1):
+//
+//	x_ij → (x_ij − α_j) / ((β_j − α_j)·√d)
+//
+// which places every feature vector inside the d-dimensional unit sphere
+// (each coordinate lands in [0, 1/√d]), and, for linear regression,
+//
+//	y → 2·(y − α_y)/(β_y − α_y) − 1 ∈ [−1, 1].
+//
+// The α/β bounds come from the schema — public domain knowledge — so
+// applying the normalizer consumes no privacy budget. Out-of-domain values
+// are clamped, a per-record operation that cannot reveal anything about
+// other records.
+type Normalizer struct {
+	schema *Schema
+	sqrtD  float64
+}
+
+// NewNormalizer builds a normalizer for the given schema.
+func NewNormalizer(s *Schema) *Normalizer {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return &Normalizer{schema: s, sqrtD: math.Sqrt(float64(s.D()))}
+}
+
+// NormalizeRow maps a raw feature vector into the unit sphere. The result is
+// a new slice.
+func (nz *Normalizer) NormalizeRow(x []float64) []float64 {
+	if len(x) != nz.schema.D() {
+		panic(fmt.Sprintf("dataset: NormalizeRow with %d features, schema has %d", len(x), nz.schema.D()))
+	}
+	out := make([]float64, len(x))
+	for j, a := range nz.schema.Features {
+		v := clamp(x[j], a.Min, a.Max)
+		out[j] = (v - a.Min) / (a.Width() * nz.sqrtD)
+	}
+	return out
+}
+
+// NormalizeLabel maps a raw target value into [−1, 1].
+func (nz *Normalizer) NormalizeLabel(y float64) float64 {
+	a := nz.schema.Target
+	v := clamp(y, a.Min, a.Max)
+	return 2*(v-a.Min)/a.Width() - 1
+}
+
+// DenormalizeLabel inverts NormalizeLabel.
+func (nz *Normalizer) DenormalizeLabel(y float64) float64 {
+	a := nz.schema.Target
+	return a.Min + (y+1)/2*a.Width()
+}
+
+// NormalizeForLinear returns a copy of ds with features in the unit sphere
+// and the target mapped into [−1, 1] — the precondition of Definition 1.
+// The returned dataset's schema carries the normalized domains.
+func (nz *Normalizer) NormalizeForLinear(ds *Dataset) *Dataset {
+	out := NewWithCapacity(nz.normalizedSchema(Attribute{Name: ds.Schema.Target.Name, Min: -1, Max: 1}), ds.N())
+	for i := 0; i < ds.N(); i++ {
+		out.Append(nz.NormalizeRow(ds.Row(i)), nz.NormalizeLabel(ds.Label(i)))
+	}
+	return out
+}
+
+// NormalizeForLogistic returns a copy of ds with features in the unit sphere
+// and the target passed through unchanged; the target must already be
+// boolean {0, 1} (Definition 2) — use Dataset.BinarizeTarget first.
+func (nz *Normalizer) NormalizeForLogistic(ds *Dataset) (*Dataset, error) {
+	out := NewWithCapacity(nz.normalizedSchema(Attribute{Name: ds.Schema.Target.Name, Min: 0, Max: 1}), ds.N())
+	for i := 0; i < ds.N(); i++ {
+		y := ds.Label(i)
+		if y != 0 && y != 1 {
+			return nil, fmt.Errorf("dataset: logistic target must be boolean, record %d has y=%v", i, y)
+		}
+		out.Append(nz.NormalizeRow(ds.Row(i)), y)
+	}
+	return out, nil
+}
+
+func (nz *Normalizer) normalizedSchema(target Attribute) *Schema {
+	s := &Schema{Target: target}
+	for _, a := range nz.schema.Features {
+		s.Features = append(s.Features, Attribute{Name: a.Name, Min: 0, Max: 1 / nz.sqrtD})
+	}
+	return s
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MaxRowNorm returns the largest Euclidean feature-vector norm in ds — the
+// quantity the paper requires to be ≤ 1. Exposed so callers (and tests) can
+// assert the invariant after normalization.
+func MaxRowNorm(ds *Dataset) float64 {
+	var m float64
+	for i := 0; i < ds.N(); i++ {
+		var s float64
+		for _, v := range ds.Row(i) {
+			s += v * v
+		}
+		if s > m {
+			m = s
+		}
+	}
+	return math.Sqrt(m)
+}

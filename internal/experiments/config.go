@@ -1,0 +1,173 @@
+// Package experiments is the harness that regenerates every figure of the
+// paper's evaluation (§7): repeated k-fold cross-validation of the five
+// methods (FM, DPME, FP, NoPrivacy, Truncated) over the three sweeps of
+// Table 2 — dataset dimensionality, dataset cardinality (sampling rate), and
+// privacy budget ε — measuring mean squared error for linear regression,
+// misclassification rate for logistic regression, and per-fit wall-clock
+// time for the Figures 7–9 timing plots.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"funcmech/internal/baseline"
+	"funcmech/internal/census"
+)
+
+// TaskKind selects the regression family of an experiment.
+type TaskKind int
+
+const (
+	// TaskLinear is least-squares regression, measured by MSE.
+	TaskLinear TaskKind = iota
+	// TaskLogistic is logistic regression, measured by misclassification
+	// rate.
+	TaskLogistic
+)
+
+// String implements fmt.Stringer.
+func (k TaskKind) String() string {
+	if k == TaskLinear {
+		return "Linear"
+	}
+	return "Logistic"
+}
+
+// EpsilonSweep is the privacy-budget grid of Table 2.
+func EpsilonSweep() []float64 { return []float64{0.1, 0.2, 0.4, 0.8, 1.6, 3.2} }
+
+// SamplingRates is the cardinality grid of Table 2.
+func SamplingRates() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}
+
+// DefaultEpsilon is Table 2's bold default ε = 0.8.
+const DefaultEpsilon = 0.8
+
+// DefaultDimensionality is Table 2's bold default of 14 attributes.
+const DefaultDimensionality = 14
+
+// Config parameterizes a harness run. Zero values are filled by
+// withDefaults; DefaultConfig returns the paper's configuration at a
+// laptop-friendly scale.
+type Config struct {
+	// Profiles are the census datasets to evaluate (default US and Brazil).
+	Profiles []census.Profile
+	// Methods are evaluated in order (default FM, DPME, FP, NoPrivacy,
+	// Truncated — Truncated is skipped automatically on linear tasks, as in
+	// the paper's plots).
+	Methods []baseline.Method
+	// Folds is the cross-validation fold count (default 5, as in §7).
+	Folds int
+	// Repeats is how many times the k-fold protocol re-runs with fresh
+	// shuffles and noise (paper: 50; default here 3 — raise for smoother
+	// curves).
+	Repeats int
+	// Records caps the generated dataset cardinality; 0 means the full
+	// profile cardinality (370k US / 190k Brazil).
+	Records int
+	// Epsilon is the default privacy budget for non-ε sweeps.
+	Epsilon float64
+	// Dimensionality is the attribute count (incl. target) for non-d
+	// sweeps; must be one of census.Dimensionalities().
+	Dimensionality int
+	// BaseSeed makes the whole run deterministic.
+	BaseSeed int64
+	// Plot renders each sweep as an ASCII chart after its table.
+	Plot bool
+	// CSV emits machine-readable rows instead of aligned tables for the
+	// sweep figures.
+	CSV bool
+}
+
+// DefaultConfig returns the paper's experimental grid at reduced scale.
+func DefaultConfig() Config {
+	return Config{
+		Profiles: census.Profiles(),
+		Methods:  DefaultMethods(),
+		Folds:    5,
+		Repeats:  3,
+		Records:  30000,
+		Epsilon:  DefaultEpsilon,
+
+		Dimensionality: DefaultDimensionality,
+		BaseSeed:       1,
+	}
+}
+
+// DefaultMethods returns the §7 method set in plot order.
+func DefaultMethods() []baseline.Method {
+	return []baseline.Method{
+		baseline.FM{},
+		baseline.DPME{},
+		baseline.FP{},
+		baseline.NoPrivacy{},
+		baseline.Truncated{},
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Profiles == nil {
+		c.Profiles = d.Profiles
+	}
+	if c.Methods == nil {
+		c.Methods = d.Methods
+	}
+	if c.Folds == 0 {
+		c.Folds = d.Folds
+	}
+	if c.Repeats == 0 {
+		c.Repeats = d.Repeats
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = d.Epsilon
+	}
+	if c.Dimensionality == 0 {
+		c.Dimensionality = d.Dimensionality
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = d.BaseSeed
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Folds < 2 {
+		return fmt.Errorf("experiments: Folds = %d, need ≥ 2", c.Folds)
+	}
+	if c.Repeats < 1 {
+		return fmt.Errorf("experiments: Repeats = %d, need ≥ 1", c.Repeats)
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("experiments: Epsilon = %v, need > 0", c.Epsilon)
+	}
+	if _, ok := census.DimensionSubsets()[c.Dimensionality]; !ok {
+		return fmt.Errorf("experiments: Dimensionality %d not in %v", c.Dimensionality, census.Dimensionalities())
+	}
+	if c.Records < 0 {
+		return fmt.Errorf("experiments: negative Records %d", c.Records)
+	}
+	return nil
+}
+
+// records resolves the effective cardinality for a profile.
+func (c Config) records(p census.Profile) int {
+	if c.Records == 0 || c.Records > p.Records {
+		return p.Records
+	}
+	return c.Records
+}
+
+// seedFor derives a deterministic sub-seed from the base seed and a label,
+// so every (method, repeat, fold, sweep point) consumes an independent,
+// reproducible noise stream.
+func seedFor(base int64, parts ...interface{}) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", base)
+	for _, p := range parts {
+		fmt.Fprintf(h, "|%v", p)
+	}
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

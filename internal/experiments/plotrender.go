@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"funcmech/internal/plot"
+)
+
+// SweepSeries converts a sweep into plottable series, one per method.
+func SweepSeries(sw *Sweep, v ValueKind) []plot.Series {
+	if len(sw.Points) == 0 {
+		return nil
+	}
+	out := make([]plot.Series, 0, len(sw.Points[0].Results))
+	for mi, r := range sw.Points[0].Results {
+		s := plot.Series{Name: r.Method}
+		for _, pt := range sw.Points {
+			val := pt.Results[mi].Metric
+			if v == ValueSeconds {
+				val = pt.Results[mi].FitSeconds
+			}
+			s.X = append(s.X, pt.X)
+			s.Y = append(s.Y, val)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteSweepPlot renders the sweep as an ASCII chart. Timing charts use a
+// log scale, like the paper's Figures 7–9.
+func WriteSweepPlot(w io.Writer, sw *Sweep, v ValueKind) error {
+	series := SweepSeries(sw, v)
+	if series == nil {
+		return fmt.Errorf("experiments: sweep %s has no points to plot", sw.ID)
+	}
+	what := sw.Metric
+	opt := plot.Options{}
+	if v == ValueSeconds {
+		what = "computation time (seconds)"
+		opt.LogY = true
+	}
+	title := fmt.Sprintf("%s %s: %s vs %s", sw.ID, sw.Title, what, sw.XLabel)
+	return plot.Render(w, title, series, opt)
+}

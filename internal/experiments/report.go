@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// ValueKind selects which measurement a rendered table shows.
+type ValueKind int
+
+const (
+	// ValueMetric renders the accuracy metric (Figures 4–6).
+	ValueMetric ValueKind = iota
+	// ValueSeconds renders per-fit wall-clock time (Figures 7–9).
+	ValueSeconds
+)
+
+// WriteSweepTable renders a sweep as an aligned text table, one row per
+// sweep point and one column per method — the same series the paper plots.
+func WriteSweepTable(w io.Writer, sw *Sweep, v ValueKind) error {
+	what := sw.Metric
+	if v == ValueSeconds {
+		what = "computation time (seconds)"
+	}
+	if _, err := fmt.Fprintf(w, "%s %s: %s vs %s\n", sw.ID, sw.Title, what, sw.XLabel); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	if len(sw.Points) == 0 {
+		return fmt.Errorf("experiments: sweep %s has no points", sw.ID)
+	}
+	header := []string{sw.XLabel}
+	for _, r := range sw.Points[0].Results {
+		header = append(header, r.Method)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t")+"\t")
+	for _, pt := range sw.Points {
+		row := []string{trimFloat(pt.X)}
+		for _, r := range pt.Results {
+			val := r.Metric
+			if v == ValueSeconds {
+				val = r.FitSeconds
+			}
+			row = append(row, fmt.Sprintf("%.4g", val))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t")+"\t")
+	}
+	return tw.Flush()
+}
+
+// WriteSweepCSV renders a sweep machine-readably: one row per
+// (point, method) with metric, standard deviation, fit seconds and failure
+// count.
+func WriteSweepCSV(w io.Writer, sw *Sweep) error {
+	if _, err := fmt.Fprintf(w, "experiment,panel,x,method,metric,stddev,fit_seconds,failures\n"); err != nil {
+		return err
+	}
+	for _, pt := range sw.Points {
+		for _, r := range pt.Results {
+			_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%g,%g,%g,%d\n",
+				sw.ID, sw.Title, trimFloat(pt.X), r.Method, r.Metric, r.StdDev, r.FitSeconds, r.Failures)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%g", x)
+	return s
+}
+
+// FindResult returns the named method's result at the given sweep point, or
+// false when absent. A convenience for tests and downstream analysis.
+func (p SweepPoint) FindResult(method string) (MethodResult, bool) {
+	for _, r := range p.Results {
+		if r.Method == method {
+			return r, true
+		}
+	}
+	return MethodResult{}, false
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"funcmech/internal/baseline"
+)
+
+func TestRunExperimentUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("fig99", quickConfig(), &buf); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestExperimentIDsRunnableParams(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("params", quickConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sampling rate", "dimensionality", "privacy budget", "0.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("params output missing %q", want)
+		}
+	}
+}
+
+func TestRunFigure2GoldenCoefficients(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("fig2", quickConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2.06", "-2.34", "1.25", "117/206"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigure3TableShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("fig3", quickConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "f_D(ω)") || !strings.Contains(out, "f̂_D(ω)") {
+		t.Fatalf("fig3 output malformed:\n%s", out)
+	}
+	// ω from 0 to 2 in steps of 0.25 → 9 data lines.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+9 {
+		t.Fatalf("fig3 has %d lines, want 11:\n%s", len(lines), out)
+	}
+}
+
+func TestRunFigure4EndToEnd(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Records = 1500
+	cfg.Methods = []baseline.Method{baseline.FM{}, baseline.NoPrivacy{}, baseline.Truncated{}}
+	var buf bytes.Buffer
+	if err := RunExperiment("fig4", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Four panels: US/Brazil × Linear/Logistic.
+	if got := strings.Count(out, "F4"); got != 4 {
+		t.Fatalf("fig4 rendered %d panels, want 4:\n%s", got, out)
+	}
+	if !strings.Contains(out, "US-Linear") || !strings.Contains(out, "Brazil-Logistic") {
+		t.Fatalf("fig4 panels mislabelled:\n%s", out)
+	}
+	// Truncated appears in logistic panels only.
+	if !strings.Contains(out, "Truncated") {
+		t.Fatal("Truncated missing from logistic panels")
+	}
+}
+
+func TestRunTimingFigureEndToEnd(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Records = 1500
+	cfg.Dimensionality = 5
+	var buf bytes.Buffer
+	if err := RunExperiment("fig9", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "computation time"); got != 2 {
+		t.Fatalf("fig9 rendered %d panels, want 2:\n%s", got, buf.String())
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Records = 1200
+	cfg.Dimensionality = 5
+	var buf bytes.Buffer
+	if err := RunExperiment("ablation", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"reg+trim (paper)", "regularize-only", "resample (2ε)", "none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTaylor(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("taylor", quickConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Lemma 3/4 in-window constant") || strings.Count(out, "bound=") != 10 {
+		t.Fatalf("taylor output malformed:\n%s", out)
+	}
+}
+
+func TestRunLambdaAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Records = 1200
+	cfg.Dimensionality = 5
+	var buf bytes.Buffer
+	if err := RunExperiment("lambda", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "λ-factor ablation") {
+		t.Fatalf("lambda output malformed:\n%s", out)
+	}
+	// 6 factor rows.
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 2+6 {
+		t.Fatalf("lambda table has %d lines, want 8:\n%s", len(lines), out)
+	}
+}
+
+func TestRunExperimentWithPlot(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Records = 1000
+	cfg.Dimensionality = 5
+	cfg.Plot = true
+	var buf bytes.Buffer
+	if err := RunExperiment("fig6", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|") || !strings.Contains(buf.String(), "* FM") {
+		t.Fatal("plot output missing from fig6 with Plot enabled")
+	}
+}
+
+func TestRunExperimentCSVFormat(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Records = 1000
+	cfg.Dimensionality = 5
+	cfg.CSV = true
+	var buf bytes.Buffer
+	if err := RunExperiment("fig4", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "experiment,panel,x,method") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "|") {
+		t.Fatal("CSV output contains table/plot artifacts")
+	}
+}

@@ -1,0 +1,92 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"funcmech/internal/dataset"
+	"funcmech/internal/noise"
+)
+
+// CountSensitivity is the L1 sensitivity of the full histogram vector under
+// the paper's neighbor definition (same cardinality, one tuple replaced):
+// moving one record changes two cells by one each.
+const CountSensitivity = 2
+
+// Count returns the dense cell-count vector of ds.
+func (g *Grid) Count(ds *dataset.Dataset) []float64 {
+	counts := make([]float64, g.cells)
+	for i := 0; i < ds.N(); i++ {
+		counts[g.CellIndex(ds.Row(i), ds.Label(i))]++
+	}
+	return counts
+}
+
+// AddLaplace perturbs every cell — occupied or not — with Lap(sens/eps)
+// noise, the Laplace mechanism over the full histogram domain. Perturbing
+// only the occupied cells would leak which cells are empty.
+func AddLaplace(counts []float64, sens, eps float64, rng *rand.Rand) []float64 {
+	l := noise.NewLaplace(sens, eps)
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = c + l.Sample(rng)
+	}
+	return out
+}
+
+// RoundNonNegative clamps negatives to zero and rounds to integers — the
+// standard post-processing step before synthetic-data generation (free under
+// DP because it never touches the original data).
+func RoundNonNegative(counts []float64) []float64 {
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		if c > 0 {
+			out[i] = math.Round(c)
+		}
+	}
+	return out
+}
+
+// Total returns the sum of all counts.
+func Total(counts []float64) float64 {
+	var s float64
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}
+
+// MaxSynthesisFactor bounds how much larger than the source cardinality a
+// synthesized dataset may grow before proportional thinning kicks in. Noisy
+// histograms over many cells can otherwise inflate the record count without
+// bound (pure noise mass), exhausting memory on small inputs.
+const MaxSynthesisFactor = 8
+
+// Synthesize emits round(count) records at each cell center — the
+// synthetic-data step shared by DPME and FP. sourceN is the original
+// cardinality; when the noisy total exceeds MaxSynthesisFactor×sourceN the
+// counts are scaled down proportionally (a DP-free post-processing step) so
+// the caller cannot be blown up by noise mass.
+func (g *Grid) Synthesize(counts []float64, sourceN int) (*dataset.Dataset, error) {
+	if len(counts) != g.cells {
+		return nil, fmt.Errorf("histogram: Synthesize with %d counts for %d cells", len(counts), g.cells)
+	}
+	total := Total(counts)
+	scale := 1.0
+	if limit := float64(MaxSynthesisFactor * sourceN); total > limit && limit > 0 {
+		scale = limit / total
+	}
+	out := dataset.NewWithCapacity(g.schema, int(total*scale)+1)
+	for idx, c := range counts {
+		n := int(math.Round(c * scale))
+		if n <= 0 {
+			continue
+		}
+		x, y := g.CellCenter(idx)
+		for k := 0; k < n; k++ {
+			out.Append(x, y)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"funcmech/internal/dataset"
+	"funcmech/internal/noise"
+)
+
+func gridSchema() *dataset.Schema {
+	return &dataset.Schema{
+		Features: []dataset.Attribute{
+			{Name: "a", Min: 0, Max: 10},
+			{Name: "b", Min: -1, Max: 1},
+		},
+		Target: dataset.Attribute{Name: "y", Min: 0, Max: 100},
+	}
+}
+
+func TestNewGridCells(t *testing.T) {
+	g, err := NewGrid(gridSchema(), []int{4, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 40 {
+		t.Fatalf("Cells = %d, want 40", g.Cells())
+	}
+}
+
+func TestNewGridRejectsBadBins(t *testing.T) {
+	if _, err := NewGrid(gridSchema(), []int{4, 2}); err == nil {
+		t.Error("expected error for wrong bins length")
+	}
+	if _, err := NewGrid(gridSchema(), []int{4, 0, 5}); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewGrid(gridSchema(), []int{1 << 12, 1 << 12, 1 << 12}); err == nil {
+		t.Error("expected error for exceeding MaxCells")
+	}
+}
+
+func TestCellIndexRoundTrip(t *testing.T) {
+	g, err := NewGrid(gridSchema(), []int{4, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < g.Cells(); idx++ {
+		x, y := g.CellCenter(idx)
+		if got := g.CellIndex(x, y); got != idx {
+			t.Fatalf("CellIndex(CellCenter(%d)) = %d", idx, got)
+		}
+	}
+}
+
+func TestCellIndexBoundaries(t *testing.T) {
+	g, err := NewGrid(gridSchema(), []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values at and beyond the domain edges must stay in range.
+	lo := g.CellIndex([]float64{-5, -2}, -10)
+	hi := g.CellIndex([]float64{50, 2}, 1000)
+	if lo < 0 || lo >= g.Cells() || hi < 0 || hi >= g.Cells() {
+		t.Fatalf("boundary cells out of range: %d, %d", lo, hi)
+	}
+	if lo == hi {
+		t.Fatal("min corner and max corner map to the same cell")
+	}
+}
+
+func TestCountTotalsMatch(t *testing.T) {
+	g, err := NewGrid(gridSchema(), []int{3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.New(gridSchema())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		ds.Append([]float64{rng.Float64() * 10, rng.Float64()*2 - 1}, rng.Float64()*100)
+	}
+	counts := g.Count(ds)
+	if got := Total(counts); got != 500 {
+		t.Fatalf("Total = %v, want 500", got)
+	}
+}
+
+func TestGridForCardinalityShrinksWithDimensionality(t *testing.T) {
+	makeSchema := func(d int) *dataset.Schema {
+		s := &dataset.Schema{Target: dataset.Attribute{Name: "y", Min: 0, Max: 1}}
+		for j := 0; j < d; j++ {
+			s.Features = append(s.Features, dataset.Attribute{
+				Name: "f" + string(rune('a'+j)), Min: 0, Max: 100,
+			})
+		}
+		return s
+	}
+	gLow, err := GridForCardinality(makeSchema(3), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gHigh, err := GridForCardinality(makeSchema(13), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gLow.Bins()[0] <= gHigh.Bins()[0] {
+		t.Fatalf("granularity must coarsen with dimensionality: %v vs %v", gLow.Bins(), gHigh.Bins())
+	}
+	if gHigh.Cells() > MaxCells {
+		t.Fatalf("cells %d exceed cap", gHigh.Cells())
+	}
+}
+
+func TestGridForCardinalityBinaryDims(t *testing.T) {
+	s := &dataset.Schema{
+		Features: []dataset.Attribute{
+			{Name: "flag", Min: 0, Max: 1},
+			{Name: "wide", Min: 0, Max: 1000},
+		},
+		Target: dataset.Attribute{Name: "y", Min: 0, Max: 1},
+	}
+	g, err := GridForCardinality(s, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := g.Bins()
+	if bins[0] > 2 || bins[2] > 2 {
+		t.Fatalf("indicator dimensions got %v bins, want ≤ 2", bins)
+	}
+	if bins[1] <= 2 {
+		t.Fatalf("wide dimension got %d bins, want > 2", bins[1])
+	}
+}
+
+func TestAddLaplaceChangesCountsWithRightScale(t *testing.T) {
+	counts := make([]float64, 5000)
+	rng := noise.NewRand(3)
+	noisy := AddLaplace(counts, CountSensitivity, 1.0, rng)
+	var sum, sumsq float64
+	for _, v := range noisy {
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(len(noisy))
+	variance := sumsq/float64(len(noisy)) - mean*mean
+	want := noise.Laplace{Scale: 2}.Variance() // sens/eps = 2
+	if math.Abs(variance-want)/want > 0.15 {
+		t.Fatalf("noise variance %v, want ≈ %v", variance, want)
+	}
+}
+
+func TestRoundNonNegative(t *testing.T) {
+	got := RoundNonNegative([]float64{-3.2, 0.4, 1.6, 2.5})
+	want := []float64{0, 0, 2, 3} // math.Round half away from zero
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RoundNonNegative = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSynthesizeMatchesCounts(t *testing.T) {
+	g, err := NewGrid(gridSchema(), []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, g.Cells())
+	counts[0] = 3
+	counts[5] = 2
+	syn, err := g.Synthesize(counts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.N() != 5 {
+		t.Fatalf("synthesized %d records, want 5", syn.N())
+	}
+	back := g.Count(syn)
+	for i := range counts {
+		if back[i] != counts[i] {
+			t.Fatalf("cell %d: synthesized count %v, want %v", i, back[i], counts[i])
+		}
+	}
+}
+
+func TestSynthesizeThinsExcessMass(t *testing.T) {
+	g, err := NewGrid(gridSchema(), []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, g.Cells())
+	for i := range counts {
+		counts[i] = 1000
+	}
+	syn, err := g.Synthesize(counts, 10) // noisy mass 8000 vs source 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.N() > MaxSynthesisFactor*10+g.Cells() {
+		t.Fatalf("synthesized %d records, cap is about %d", syn.N(), MaxSynthesisFactor*10)
+	}
+}
+
+// Property: every record lands in exactly one cell and the cell's center
+// round-trips to the same cell.
+func TestCellAssignmentProperty(t *testing.T) {
+	g, err := NewGrid(gridSchema(), []int{5, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := []float64{rng.Float64() * 10, rng.Float64()*2 - 1}
+		y := rng.Float64() * 100
+		idx := g.CellIndex(x, y)
+		if idx < 0 || idx >= g.Cells() {
+			return false
+		}
+		cx, cy := g.CellCenter(idx)
+		return g.CellIndex(cx, cy) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DP smoke test — for two neighbor datasets the histogram count
+// vectors differ by at most CountSensitivity in L1.
+func TestNeighborSensitivityProperty(t *testing.T) {
+	g, err := NewGrid(gridSchema(), []int{4, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d1 := dataset.New(gridSchema())
+		for i := 0; i < 50; i++ {
+			d1.Append([]float64{rng.Float64() * 10, rng.Float64()*2 - 1}, rng.Float64()*100)
+		}
+		d2 := d1.Subset(sequenceInts(50))
+		// Replace one tuple (same cardinality, the paper's neighbor notion).
+		d2 = replaceTuple(d2, rng.Intn(50), []float64{rng.Float64() * 10, rng.Float64()*2 - 1}, rng.Float64()*100)
+		c1, c2 := g.Count(d1), g.Count(d2)
+		var l1 float64
+		for i := range c1 {
+			l1 += math.Abs(c1[i] - c2[i])
+		}
+		return l1 <= CountSensitivity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sequenceInts(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func replaceTuple(d *dataset.Dataset, i int, x []float64, y float64) *dataset.Dataset {
+	out := dataset.New(d.Schema)
+	for r := 0; r < d.N(); r++ {
+		if r == i {
+			out.Append(x, y)
+		} else {
+			out.Append(d.Row(r), d.Label(r))
+		}
+	}
+	return out
+}

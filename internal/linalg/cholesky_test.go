@@ -1,0 +1,121 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt2]].
+	a := NewMatrixFromRows([][]float64{{4, 2}, {2, 3}})
+	c, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := c.L()
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt2) > 1e-12 || l.At(0, 1) != 0 {
+		t.Fatalf("L wrong:\n%v", l)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyRejectsNaN(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{math.NaN(), 0}, {0, 1}})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("NaN matrix must not factor")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{4, 2}, {2, 3}})
+	b := []float64{10, 9}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(a.MulVec(x), b, 1e-10) {
+		t.Fatalf("A·x = %v, want %v", a.MulVec(x), b)
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{4, 0}, {0, 9}})
+	c, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.LogDet(), math.Log(36); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogDet = %v, want %v", got, want)
+	}
+}
+
+func TestIsPositiveDefinite(t *testing.T) {
+	if !IsPositiveDefinite(Identity(3)) {
+		t.Error("identity must be PD")
+	}
+	if IsPositiveDefinite(NewMatrixFromRows([][]float64{{0}})) {
+		t.Error("zero matrix must not be PD")
+	}
+}
+
+func TestSolveSymmetricFallsBackToLU(t *testing.T) {
+	// Symmetric but indefinite: Cholesky fails, LU must succeed.
+	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 1}})
+	b := []float64{3, 3}
+	x, err := SolveSymmetric(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(a.MulVec(x), b, 1e-10) {
+		t.Fatalf("A·x = %v, want %v", a.MulVec(x), b)
+	}
+}
+
+// Property: reconstruction L·Lᵀ = A for random SPD matrices.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		c, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		l := c.L()
+		return l.Mul(l.T()).EqualApproxMat(a, 1e-8*math.Max(1, a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Solve is a right inverse, A·Solve(b) = b.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		return EqualApprox(a.MulVec(x), b, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

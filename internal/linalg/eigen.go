@@ -1,0 +1,167 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEigenNoConvergence is returned when the Jacobi sweeps fail to reduce the
+// off-diagonal mass below tolerance; with symmetric input this is effectively
+// unreachable but kept as a guard against NaN contamination.
+var ErrEigenNoConvergence = errors.New("linalg: Jacobi eigen-decomposition did not converge")
+
+// EigenDecomposition holds the spectral factorization of a symmetric matrix
+// in the paper's §6.2 convention: A = Qᵀ·Λ·Q, where the *rows* of Q are the
+// orthonormal eigenvectors and Λ = diag(Values). Values are sorted in
+// descending order and Q's rows are permuted consistently.
+type EigenDecomposition struct {
+	// Values are the eigenvalues in descending order.
+	Values []float64
+	// Q has the eigenvectors as rows: A = Qᵀ diag(Values) Q and Q·Qᵀ = I.
+	Q *Matrix
+}
+
+const (
+	jacobiMaxSweeps = 100
+	jacobiTol       = 1e-12
+)
+
+// EigenSymmetric computes all eigenvalues and eigenvectors of the symmetric
+// matrix a using the cyclic Jacobi rotation method. Only symmetry within a
+// loose tolerance is required; the strictly symmetric average (a+aᵀ)/2 is
+// factored. The input is not modified.
+//
+// For the d ≤ a-few-dozen matrices the functional mechanism produces, Jacobi
+// is simple, numerically robust, and produces orthonormal eigenvectors to
+// near machine precision.
+func EigenSymmetric(a *Matrix) (*EigenDecomposition, error) {
+	if a.Rows() != a.Cols() {
+		panic(fmt.Sprintf("linalg: EigenSymmetric on non-square %d×%d matrix", a.Rows(), a.Cols()))
+	}
+	n := a.Rows()
+	w := a.Clone().Symmetrize()
+	if !w.AllFiniteMat() {
+		return nil, ErrEigenNoConvergence
+	}
+	v := Identity(n) // accumulates rotations; columns become eigenvectors
+
+	// Scale of the matrix, for the relative convergence threshold.
+	scale := w.MaxAbs()
+	if scale == 0 {
+		// Zero matrix: all eigenvalues zero, eigenvectors the standard basis.
+		return newEigenFromColumns(make([]float64, n), v), nil
+	}
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		off := offDiagonalNorm(w)
+		if off <= jacobiTol*scale {
+			break
+		}
+		if sweep == jacobiMaxSweeps-1 {
+			return nil, ErrEigenNoConvergence
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= jacobiTol*scale/float64(n*n) {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Rotation angle that annihilates w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e12 {
+					t = 1 / (2 * theta)
+				} else {
+					t = math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				applyJacobiRotation(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	return newEigenFromColumns(vals, v), nil
+}
+
+// applyJacobiRotation applies the Givens rotation G(p,q,θ) as A ← GᵀAG and
+// accumulates V ← VG.
+func applyJacobiRotation(a, v *Matrix, p, q int, c, s float64) {
+	n := a.Rows()
+	for i := 0; i < n; i++ {
+		aip, aiq := a.At(i, p), a.At(i, q)
+		a.Set(i, p, c*aip-s*aiq)
+		a.Set(i, q, s*aip+c*aiq)
+	}
+	for j := 0; j < n; j++ {
+		apj, aqj := a.At(p, j), a.At(q, j)
+		a.Set(p, j, c*apj-s*aqj)
+		a.Set(q, j, s*apj+c*aqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagonalNorm(a *Matrix) float64 {
+	var s float64
+	n := a.Rows()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s += 2 * a.At(i, j) * a.At(i, j)
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// newEigenFromColumns converts (values, V with eigenvector columns) into the
+// sorted row-convention EigenDecomposition.
+func newEigenFromColumns(vals []float64, v *Matrix) *EigenDecomposition {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	sorted := make([]float64, n)
+	q := NewMatrix(n, n)
+	for r, src := range idx {
+		sorted[r] = vals[src]
+		for j := 0; j < n; j++ {
+			q.Set(r, j, v.At(j, src)) // row r of Q = column src of V
+		}
+	}
+	return &EigenDecomposition{Values: sorted, Q: q}
+}
+
+// Reconstruct returns QᵀΛQ, which should equal the factored matrix up to
+// round-off. Exposed for testing and for the spectral-trimming code path.
+func (e *EigenDecomposition) Reconstruct() *Matrix {
+	n := len(e.Values)
+	lam := NewMatrix(n, n)
+	for i, v := range e.Values {
+		lam.Set(i, i, v)
+	}
+	return e.Q.T().Mul(lam).Mul(e.Q)
+}
+
+// PositiveCount returns the number of strictly positive eigenvalues.
+func (e *EigenDecomposition) PositiveCount() int {
+	c := 0
+	for _, v := range e.Values {
+		if v > 0 {
+			c++
+		}
+	}
+	return c
+}

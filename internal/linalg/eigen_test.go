@@ -1,0 +1,158 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := EigenSymmetric(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("Values = %v, want [3 1]", e.Values)
+	}
+}
+
+func TestEigenDiagonal(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{5, 0, 0}, {0, -2, 0}, {0, 0, 1}})
+	e, err := EigenSymmetric(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 1, -2} // descending
+	if !EqualApprox(e.Values, want, 1e-12) {
+		t.Fatalf("Values = %v, want %v", e.Values, want)
+	}
+}
+
+func TestEigenZeroMatrix(t *testing.T) {
+	e, err := EigenSymmetric(NewMatrix(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(e.Values, []float64{0, 0, 0}, 0) {
+		t.Fatalf("Values = %v, want zeros", e.Values)
+	}
+	if !e.Q.Mul(e.Q.T()).EqualApproxMat(Identity(3), 1e-12) {
+		t.Fatal("Q not orthonormal for zero matrix")
+	}
+}
+
+func TestEigenRejectsNaN(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{math.NaN(), 0}, {0, 1}})
+	if _, err := EigenSymmetric(a); err == nil {
+		t.Fatal("expected error for NaN input")
+	}
+}
+
+func TestEigenValuesSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSPD(rng, 6)
+	e, err := EigenSymmetric(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(e.Values))) {
+		t.Fatalf("Values not descending: %v", e.Values)
+	}
+}
+
+func TestPositiveCount(t *testing.T) {
+	e := &EigenDecomposition{Values: []float64{2, 0.5, 0, -1}}
+	if got := e.PositiveCount(); got != 2 {
+		t.Fatalf("PositiveCount = %d, want 2", got)
+	}
+}
+
+// Property: reconstruction QᵀΛQ = A (the §6.2 convention) on random
+// symmetric matrices.
+func TestEigenReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n, n).Symmetrize()
+		e, err := EigenSymmetric(a)
+		if err != nil {
+			return false
+		}
+		tol := 1e-8 * math.Max(1, a.MaxAbs())
+		return e.Reconstruct().EqualApproxMat(a, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Q is orthonormal, Q·Qᵀ = I.
+func TestEigenOrthonormalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n, n).Symmetrize()
+		e, err := EigenSymmetric(a)
+		if err != nil {
+			return false
+		}
+		return e.Q.Mul(e.Q.T()).EqualApproxMat(Identity(n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eigenvalues of SPD matrices are strictly positive and their sum
+// equals the trace.
+func TestEigenSPDTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		e, err := EigenSymmetric(a)
+		if err != nil {
+			return false
+		}
+		var sum, trace float64
+		for i, v := range e.Values {
+			if v <= 0 {
+				return false
+			}
+			sum += v
+			trace += a.At(i, i)
+		}
+		return math.Abs(sum-trace) < 1e-7*math.Max(1, math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: A·qᵢ = λᵢ·qᵢ for every eigenpair.
+func TestEigenPairsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n, n).Symmetrize()
+		e, err := EigenSymmetric(a)
+		if err != nil {
+			return false
+		}
+		tol := 1e-8 * math.Max(1, a.MaxAbs())
+		for i := 0; i < n; i++ {
+			q := e.Q.Row(i)
+			if !EqualApprox(a.MulVec(q), Scale(e.Values[i], q), tol) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LUDecomposition holds a pivoted LU factorization P·A = L·U, with L unit
+// lower triangular and U upper triangular, stored compactly in lu.
+type LUDecomposition struct {
+	lu    *Matrix
+	pivot []int
+	sign  float64
+	n     int
+}
+
+// LU factors the square matrix a with partial pivoting. It returns
+// ErrSingular when a pivot is exactly zero; near-singular systems succeed but
+// with the usual loss of accuracy.
+func LU(a *Matrix) (*LUDecomposition, error) {
+	if a.Rows() != a.Cols() {
+		panic(fmt.Sprintf("linalg: LU on non-square %d×%d matrix", a.Rows(), a.Cols()))
+	}
+	n := a.Rows()
+	lu := a.Clone()
+	pivot := make([]int, n)
+	for i := range pivot {
+		pivot[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Find the pivot row.
+		p := k
+		best := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > best {
+				best = v
+				p = i
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			pivot[k], pivot[p] = pivot[p], pivot[k]
+			sign = -sign
+		}
+		pk := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pk
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.AddAt(i, j, -m*lu.At(k, j))
+			}
+		}
+	}
+	return &LUDecomposition{lu: lu, pivot: pivot, sign: sign, n: n}, nil
+}
+
+// Solve returns x with A·x = b.
+func (d *LUDecomposition) Solve(b []float64) []float64 {
+	if len(b) != d.n {
+		panic(fmt.Sprintf("linalg: LU solve dimension mismatch %d vs %d", len(b), d.n))
+	}
+	x := make([]float64, d.n)
+	// Apply the permutation, then forward substitution with unit L.
+	for i := 0; i < d.n; i++ {
+		s := b[d.pivot[i]]
+		for k := 0; k < i; k++ {
+			s -= d.lu.At(i, k) * x[k]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := d.n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < d.n; k++ {
+			s -= d.lu.At(i, k) * x[k]
+		}
+		x[i] = s / d.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (d *LUDecomposition) Det() float64 {
+	det := d.sign
+	for i := 0; i < d.n; i++ {
+		det *= d.lu.At(i, i)
+	}
+	return det
+}
+
+// SolveLU solves A·x = b for general square A with partial pivoting.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	d, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	return d.Solve(b), nil
+}
+
+// Inverse returns A⁻¹ for a square nonsingular A. Prefer the Solve variants
+// when only A⁻¹·b is needed.
+func Inverse(a *Matrix) (*Matrix, error) {
+	d, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows()
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col := d.Solve(e)
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

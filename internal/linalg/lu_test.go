@@ -1,0 +1,137 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := SolveLU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(x, []float64{2, 3, -1}, 1e-10) {
+		t.Fatalf("x = %v, want [2 3 -1]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := LU(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	d, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Det(); math.Abs(got-(-2)) > 1e-12 {
+		t.Fatalf("Det = %v, want -2", got)
+	}
+}
+
+func TestLUDetPermutationSign(t *testing.T) {
+	// Requires a row swap; determinant sign must survive pivoting.
+	a := NewMatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	d, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Det(); math.Abs(got-(-1)) > 1e-12 {
+		t.Fatalf("Det = %v, want -1", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).EqualApproxMat(Identity(2), 1e-10) {
+		t.Fatalf("A·A⁻¹ ≠ I:\n%v", a.Mul(inv))
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("expected error inverting a singular matrix")
+	}
+}
+
+// Property: LU Solve satisfies A·x = b on random well-conditioned systems.
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n, n).AddDiagonal(float64(n) + 1) // diagonally dominant-ish
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLU(a, b)
+		if err != nil {
+			return false
+		}
+		return EqualApprox(a.MulVec(x), b, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: det(A) matches the Cholesky log-determinant on SPD matrices.
+func TestLUDetMatchesCholeskyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomSPD(rng, n)
+		lu, err := LU(a)
+		if err != nil {
+			return false
+		}
+		ch, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		ld := math.Log(lu.Det())
+		return math.Abs(ld-ch.LogDet()) < 1e-6*math.Max(1, math.Abs(ld))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Inverse is a two-sided inverse on well-conditioned matrices.
+func TestInverseTwoSidedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomMatrix(rng, n, n).AddDiagonal(float64(n) + 1)
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		id := Identity(n)
+		return a.Mul(inv).EqualApproxMat(id, 1e-8) && inv.Mul(a).EqualApproxMat(id, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLUSingularReturnsError(t *testing.T) {
+	a := NewMatrix(3, 3) // the zero matrix
+	if _, err := SolveLU(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}

@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	cases := []struct {
+		v    []float64
+		want float64
+	}{
+		{[]float64{3, 4}, 5},
+		{[]float64{0, 0, 0}, 0},
+		{[]float64{-2}, 2},
+		{[]float64{1, 1, 1, 1}, 2},
+	}
+	for _, c := range cases {
+		if got := Norm2(c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Norm2(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	// Naive sum-of-squares would overflow here; scaled accumulation must not.
+	v := []float64{1e200, 1e200}
+	want := 1e200 * math.Sqrt2
+	if got := Norm2(v); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Norm2 overflow guard failed: got %v want %v", got, want)
+	}
+}
+
+func TestNorm1AndInf(t *testing.T) {
+	v := []float64{1, -2, 3, -4}
+	if got := Norm1(v); got != 10 {
+		t.Errorf("Norm1 = %v, want 10", got)
+	}
+	if got := NormInf(v); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	if got := Add(a, b); !EqualApprox(got, []float64{4, 7}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(a, b); !EqualApprox(got, []float64{-2, -3}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(2, a); !EqualApprox(got, []float64{2, 4}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	// Inputs must not be mutated.
+	if !EqualApprox(a, []float64{1, 2}, 0) || !EqualApprox(b, []float64{3, 5}, 0) {
+		t.Error("inputs were mutated")
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(3, []float64{2, -1}, y)
+	if !EqualApprox(y, []float64{7, -2}, 0) {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Error("finite vector reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("+Inf not detected")
+	}
+}
+
+func TestCloneVecIndependent(t *testing.T) {
+	a := []float64{1, 2}
+	b := CloneVec(a)
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("CloneVec aliases its input")
+	}
+}
+
+// Property: Cauchy–Schwarz |⟨a,b⟩| ≤ ‖a‖‖b‖ for random vectors.
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		lhs := math.Abs(Dot(a, b))
+		rhs := Norm2(a) * Norm2(b)
+		return lhs <= rhs*(1+1e-10)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality ‖a+b‖ ≤ ‖a‖+‖b‖.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 10
+			b[i] = rng.NormFloat64() * 10
+		}
+		return Norm2(Add(a, b)) <= Norm2(a)+Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: norm equivalence ‖v‖∞ ≤ ‖v‖₂ ≤ ‖v‖₁ ≤ n·‖v‖∞.
+func TestNormEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		inf, two, one := NormInf(v), Norm2(v), Norm1(v)
+		eps := 1e-9
+		return inf <= two+eps && two <= one+eps && one <= float64(n)*inf+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package noise
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned by Budget.Spend when the requested ε exceeds
+// what remains.
+var ErrBudgetExhausted = errors.New("noise: privacy budget exhausted")
+
+// Budget is a sequential-composition privacy accountant: mechanisms draw
+// portions of a total ε and the accountant guarantees the sum of successful
+// draws never exceeds it. It is safe for concurrent use.
+//
+// The paper's Lemma 5 observation — that re-running Algorithm 1 until the
+// noisy objective is bounded doubles the privacy cost — shows up here as two
+// Spend calls of ε each.
+type Budget struct {
+	mu    sync.Mutex
+	total float64
+	spent float64
+}
+
+// NewBudget returns an accountant for a total budget of eps.
+func NewBudget(eps float64) *Budget {
+	if eps <= 0 {
+		panic(fmt.Sprintf("noise: non-positive total budget %v", eps))
+	}
+	return &Budget{total: eps}
+}
+
+// Spend consumes eps from the budget or returns ErrBudgetExhausted (leaving
+// the budget unchanged).
+func (b *Budget) Spend(eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("noise: non-positive spend %v", eps)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	const slack = 1e-12 // forgive float round-off on exact exhaustion
+	if b.spent+eps > b.total+slack {
+		return fmt.Errorf("%w: requested %v, remaining %v", ErrBudgetExhausted, eps, b.total-b.spent)
+	}
+	b.spent += eps
+	return nil
+}
+
+// Remaining returns the unspent budget.
+func (b *Budget) Remaining() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.total - b.spent
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Total returns the configured total budget.
+func (b *Budget) Total() float64 { return b.total }
+
+// Spent returns the consumed budget.
+func (b *Budget) Spent() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}

@@ -1,0 +1,110 @@
+package noise
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBudgetSpend(t *testing.T) {
+	b := NewBudget(1.0)
+	if err := b.Spend(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(0.6); err != nil {
+		t.Fatal(err)
+	}
+	if r := b.Remaining(); math.Abs(r) > 1e-9 {
+		t.Fatalf("Remaining = %v, want 0", r)
+	}
+	if err := b.Spend(0.01); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetOverspendLeavesStateUnchanged(t *testing.T) {
+	b := NewBudget(0.5)
+	if err := b.Spend(1.0); err == nil {
+		t.Fatal("expected overspend error")
+	}
+	if b.Spent() != 0 {
+		t.Fatalf("Spent = %v after failed spend, want 0", b.Spent())
+	}
+}
+
+func TestBudgetRejectsNonPositiveSpend(t *testing.T) {
+	b := NewBudget(1)
+	if err := b.Spend(0); err == nil {
+		t.Error("Spend(0) must fail")
+	}
+	if err := b.Spend(-0.1); err == nil {
+		t.Error("Spend(-0.1) must fail")
+	}
+}
+
+func TestNewBudgetRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBudget(0) must panic")
+		}
+	}()
+	NewBudget(0)
+}
+
+func TestBudgetLemma5DoubleSpend(t *testing.T) {
+	// The resampling variant costs 2ε (paper Lemma 5): two Spend(ε) calls on
+	// a 2ε budget must succeed, a third must not.
+	eps := 0.8
+	b := NewBudget(2 * eps)
+	if err := b.Spend(eps); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(eps); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(eps); err == nil {
+		t.Fatal("third ε spend must exhaust a 2ε budget")
+	}
+}
+
+func TestBudgetConcurrentSpend(t *testing.T) {
+	b := NewBudget(100)
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- b.Spend(1)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	ok := 0
+	for err := range errs {
+		if err == nil {
+			ok++
+		}
+	}
+	if ok != 100 {
+		t.Fatalf("%d spends succeeded on a budget of 100 unit spends", ok)
+	}
+	if r := b.Remaining(); r > 1e-9 {
+		t.Fatalf("Remaining = %v, want 0", r)
+	}
+}
+
+func TestBudgetAccessors(t *testing.T) {
+	b := NewBudget(2)
+	_ = b.Spend(0.5)
+	if b.Total() != 2 {
+		t.Errorf("Total = %v", b.Total())
+	}
+	if b.Spent() != 0.5 {
+		t.Errorf("Spent = %v", b.Spent())
+	}
+	if b.Remaining() != 1.5 {
+		t.Errorf("Remaining = %v", b.Remaining())
+	}
+}

@@ -1,0 +1,124 @@
+// Package plot renders simple ASCII line charts for terminal inspection of
+// the experiment sweeps — the visual counterpart of the text tables the
+// harness emits, useful when eyeballing a Figure 4–9 shape without leaving
+// the shell.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options sizes the chart.
+type Options struct {
+	// Width and Height of the plotting area in characters (defaults 64×16).
+	Width, Height int
+	// LogY plots log₁₀ of the values (all values must be positive).
+	LogY bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// Render draws the series into w as an ASCII chart with a legend.
+func Render(w io.Writer, title string, series []Series, opt Options) error {
+	opt = opt.withDefaults()
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if opt.LogY {
+				if y <= 0 {
+					return fmt.Errorf("plot: series %q has non-positive value %v with LogY", s.Name, y)
+				}
+				y = math.Log10(y)
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if opt.LogY {
+				y = math.Log10(y)
+			}
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(opt.Width-1))
+			r := opt.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(opt.Height-1))
+			grid[r][c] = mark
+		}
+	}
+
+	fmt.Fprintln(w, title)
+	top, bottom := ymax, ymin
+	if opt.LogY {
+		top, bottom = math.Pow(10, ymax), math.Pow(10, ymin)
+	}
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", top)
+		}
+		if r == opt.Height-1 {
+			label = fmt.Sprintf("%8.3g", bottom)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%8s  %-10.3g%s%10.3g\n", "", xmin,
+		strings.Repeat(" ", max0(opt.Width-20)), xmax)
+	legend := make([]string, len(series))
+	for si, s := range series {
+		legend[si] = fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name)
+	}
+	fmt.Fprintln(w, "  "+strings.Join(legend, "   "))
+	return nil
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

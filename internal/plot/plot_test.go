@@ -1,0 +1,126 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "FM", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}},
+		{Name: "DPME", X: []float64{1, 2, 3, 4}, Y: []float64{4, 4, 4, 4}},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "test chart", twoSeries(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* FM") || !strings.Contains(out, "o DPME") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from plot area")
+	}
+	// 16 default rows plus title, axis, legend.
+	if got := strings.Count(out, "\n"); got != 16+3 {
+		t.Errorf("line count = %d, want 19:\n%s", got, out)
+	}
+}
+
+func TestRenderExtremesPlaced(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	if err := Render(&buf, "t", s, Options{Width: 20, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Max value on the top row, min on the bottom row of the grid.
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("max not on top row:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[5], "*") {
+		t.Errorf("min not on bottom row:\n%s", buf.String())
+	}
+}
+
+func TestRenderAxisLabels(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Name: "a", X: []float64{2, 8}, Y: []float64{10, 20}}}
+	if err := Render(&buf, "t", s, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"20", "10", "2", "8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("axis label %q missing:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Name: "a", X: []float64{1, 2, 3}, Y: []float64{0.01, 0.1, 1}}}
+	if err := Render(&buf, "t", s, Options{LogY: true, Width: 30, Height: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Log-spaced values land on evenly spaced rows: three distinct rows.
+	// Count only grid rows (delimited by |), not the legend.
+	rows := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			rows++
+		}
+	}
+	if rows != 3 {
+		t.Fatalf("log plot used %d rows, want 3:\n%s", rows, buf.String())
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "t", nil, Options{}); err == nil {
+		t.Error("expected error for no series")
+	}
+	if err := Render(&buf, "t", []Series{{Name: "a", X: []float64{1}, Y: []float64{}}}, Options{}); err == nil {
+		t.Error("expected error for ragged series")
+	}
+	if err := Render(&buf, "t", []Series{{Name: "a"}}, Options{}); err == nil {
+		t.Error("expected error for empty series")
+	}
+	if err := Render(&buf, "t", []Series{{Name: "a", X: []float64{1}, Y: []float64{-1}}}, Options{LogY: true}); err == nil {
+		t.Error("expected error for negative value with LogY")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}
+	if err := Render(&buf, "t", s, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("constant series not drawn")
+	}
+}
+
+func TestRenderManySeriesMarkerCycle(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Name: string(rune('a' + i)), X: []float64{float64(i)}, Y: []float64{float64(i)}}
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, "t", series, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// 10 series with 8 markers: the cycle reuses the first two.
+	if !strings.Contains(buf.String(), "* a") || !strings.Contains(buf.String(), "* i") {
+		t.Fatalf("marker cycling broken:\n%s", buf.String())
+	}
+}

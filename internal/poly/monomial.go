@@ -1,0 +1,146 @@
+// Package poly implements the polynomial representation of objective
+// functions that the functional mechanism perturbs (paper Equation 3):
+//
+//	f(tᵢ, ω) = Σⱼ Σ_{φ∈Φⱼ} λ_φtᵢ · φ(ω)
+//
+// where each φ(ω) = ω₁^c₁·…·ω_d^c_d is a monomial of the model parameters.
+// The package provides a general sparse multivariate polynomial (any degree,
+// used by the mechanism core and by the Taylor machinery of paper §5) and a
+// dense degree-2 quadratic form (the shape both case-study regressions
+// reduce to, used on the hot path).
+package poly
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Monomial is a product of model-parameter powers φ(ω) = Π ω_i^Exponents[i].
+// The zero-degree monomial (all exponents zero) is the constant 1. A
+// monomial's degree j determines which Φⱼ it belongs to (paper Equation 2).
+type Monomial struct {
+	exps []int
+}
+
+// NewMonomial builds a monomial from its exponent vector; exponents must be
+// non-negative. The slice is copied.
+func NewMonomial(exps []int) Monomial {
+	out := make([]int, len(exps))
+	for i, e := range exps {
+		if e < 0 {
+			panic(fmt.Sprintf("poly: negative exponent %d at position %d", e, i))
+		}
+		out[i] = e
+	}
+	return Monomial{exps: out}
+}
+
+// Constant returns the degree-0 monomial over d variables (φ ≡ 1, Φ₀).
+func Constant(d int) Monomial { return Monomial{exps: make([]int, d)} }
+
+// Linear returns the degree-1 monomial ω_i over d variables (an element of Φ₁).
+func Linear(d, i int) Monomial {
+	m := Constant(d)
+	m.exps[i] = 1
+	return m
+}
+
+// Product returns the degree-2 monomial ω_i·ω_j (an element of Φ₂).
+// i == j yields ω_i².
+func Product(d, i, j int) Monomial {
+	m := Constant(d)
+	m.exps[i]++
+	m.exps[j]++
+	return m
+}
+
+// NumVars returns the number of model parameters d.
+func (m Monomial) NumVars() int { return len(m.exps) }
+
+// Exponent returns the power of ω_i.
+func (m Monomial) Exponent(i int) int { return m.exps[i] }
+
+// Degree returns Σ exponents, i.e. the j with φ ∈ Φⱼ.
+func (m Monomial) Degree() int {
+	d := 0
+	for _, e := range m.exps {
+		d += e
+	}
+	return d
+}
+
+// Eval returns φ(ω).
+func (m Monomial) Eval(w []float64) float64 {
+	if len(w) != len(m.exps) {
+		panic(fmt.Sprintf("poly: Eval with %d variables on %d-variable monomial", len(w), len(m.exps)))
+	}
+	v := 1.0
+	for i, e := range m.exps {
+		switch e {
+		case 0:
+		case 1:
+			v *= w[i]
+		case 2:
+			v *= w[i] * w[i]
+		default:
+			v *= math.Pow(w[i], float64(e))
+		}
+	}
+	return v
+}
+
+// Mul returns the product monomial (exponent-wise sum).
+func (m Monomial) Mul(o Monomial) Monomial {
+	if len(m.exps) != len(o.exps) {
+		panic(fmt.Sprintf("poly: Mul of monomials over %d and %d variables", len(m.exps), len(o.exps)))
+	}
+	out := make([]int, len(m.exps))
+	for i := range out {
+		out[i] = m.exps[i] + o.exps[i]
+	}
+	return Monomial{exps: out}
+}
+
+// Derivative returns (∂φ/∂ω_i, multiplier): the reduced monomial together
+// with the integer factor (the original exponent). A zero multiplier means
+// the derivative vanishes.
+func (m Monomial) Derivative(i int) (Monomial, float64) {
+	if m.exps[i] == 0 {
+		return Constant(len(m.exps)), 0
+	}
+	out := make([]int, len(m.exps))
+	copy(out, m.exps)
+	out[i]--
+	return Monomial{exps: out}, float64(m.exps[i])
+}
+
+// Key returns a canonical map key ("c1,c2,…,cd").
+func (m Monomial) Key() string {
+	var sb strings.Builder
+	for i, e := range m.exps {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(e))
+	}
+	return sb.String()
+}
+
+// String renders the monomial for debugging, e.g. "w1^2*w3".
+func (m Monomial) String() string {
+	var parts []string
+	for i, e := range m.exps {
+		switch {
+		case e == 1:
+			parts = append(parts, fmt.Sprintf("w%d", i+1))
+		case e > 1:
+			parts = append(parts, fmt.Sprintf("w%d^%d", i+1, e))
+		}
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, "*")
+}

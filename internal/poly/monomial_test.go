@@ -1,0 +1,96 @@
+package poly
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonomialDegree(t *testing.T) {
+	cases := []struct {
+		m    Monomial
+		want int
+	}{
+		{Constant(3), 0},
+		{Linear(3, 1), 1},
+		{Product(3, 0, 2), 2},
+		{Product(3, 1, 1), 2},
+		{NewMonomial([]int{3, 0, 2}), 5},
+	}
+	for _, c := range cases {
+		if got := c.m.Degree(); got != c.want {
+			t.Errorf("Degree(%v) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMonomialEval(t *testing.T) {
+	w := []float64{2, 3, 5}
+	cases := []struct {
+		m    Monomial
+		want float64
+	}{
+		{Constant(3), 1},
+		{Linear(3, 2), 5},
+		{Product(3, 0, 1), 6},
+		{Product(3, 1, 1), 9},
+		{NewMonomial([]int{1, 2, 1}), 90},
+	}
+	for _, c := range cases {
+		if got := c.m.Eval(w); got != c.want {
+			t.Errorf("%v.Eval = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMonomialMul(t *testing.T) {
+	got := Linear(2, 0).Mul(Linear(2, 1)).Mul(Linear(2, 0))
+	want := NewMonomial([]int{2, 1})
+	if got.Key() != want.Key() {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMonomialDerivative(t *testing.T) {
+	m := NewMonomial([]int{3, 1})
+	dm, mult := m.Derivative(0)
+	if mult != 3 || dm.Key() != NewMonomial([]int{2, 1}).Key() {
+		t.Fatalf("d/dw1 = %v·%v", mult, dm)
+	}
+	_, mult = Linear(2, 0).Derivative(1)
+	if mult != 0 {
+		t.Fatalf("∂w1/∂w2 multiplier = %v, want 0", mult)
+	}
+}
+
+func TestMonomialNegativeExponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative exponent")
+		}
+	}()
+	NewMonomial([]int{-1})
+}
+
+func TestMonomialString(t *testing.T) {
+	if s := Constant(2).String(); s != "1" {
+		t.Errorf("Constant string = %q", s)
+	}
+	if s := NewMonomial([]int{2, 0, 1}).String(); s != "w1^2*w3" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMonomialKeyCanonical(t *testing.T) {
+	a := Product(3, 0, 2)
+	b := Product(3, 2, 0)
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ for commuting products: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestMonomialEvalHighPower(t *testing.T) {
+	m := NewMonomial([]int{4})
+	if got := m.Eval([]float64{2}); math.Abs(got-16) > 1e-12 {
+		t.Fatalf("w^4 at 2 = %v", got)
+	}
+}

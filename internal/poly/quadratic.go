@@ -1,0 +1,136 @@
+package poly
+
+import (
+	"fmt"
+
+	"funcmech/internal/linalg"
+)
+
+// Quadratic is the dense degree-2 objective f(ω) = ωᵀMω + αᵀω + β that both
+// case-study regressions reduce to (paper §4.2 for linear, §5.3 for
+// logistic). M is kept symmetric by construction; the functional mechanism
+// perturbs its upper triangle and mirrors (paper §6.1).
+type Quadratic struct {
+	M     *linalg.Matrix
+	Alpha []float64
+	Beta  float64
+}
+
+// NewQuadratic returns the zero quadratic over d variables.
+func NewQuadratic(d int) *Quadratic {
+	return &Quadratic{M: linalg.NewMatrix(d, d), Alpha: make([]float64, d)}
+}
+
+// Dim returns the number of model parameters d.
+func (q *Quadratic) Dim() int { return len(q.Alpha) }
+
+// Eval returns f(ω).
+func (q *Quadratic) Eval(w []float64) float64 {
+	return q.M.QuadraticForm(w) + linalg.Dot(q.Alpha, w) + q.Beta
+}
+
+// Gradient returns ∇f(ω) = (M+Mᵀ)ω + α, which is 2Mω+α for symmetric M.
+func (q *Quadratic) Gradient(w []float64) []float64 {
+	g := q.M.MulVec(w)
+	gt := q.M.TMulVec(w)
+	for i := range g {
+		g[i] += gt[i] + q.Alpha[i]
+	}
+	return g
+}
+
+// Clone returns a deep copy.
+func (q *Quadratic) Clone() *Quadratic {
+	return &Quadratic{M: q.M.Clone(), Alpha: linalg.CloneVec(q.Alpha), Beta: q.Beta}
+}
+
+// AddQuadratic accumulates o into q in place and returns q.
+func (q *Quadratic) AddQuadratic(o *Quadratic) *Quadratic {
+	if o.Dim() != q.Dim() {
+		panic(fmt.Sprintf("poly: AddQuadratic dim mismatch %d vs %d", q.Dim(), o.Dim()))
+	}
+	q.M = q.M.AddMat(o.M)
+	for i := range q.Alpha {
+		q.Alpha[i] += o.Alpha[i]
+	}
+	q.Beta += o.Beta
+	return q
+}
+
+// ToPolynomial converts to the sparse representation. Off-diagonal pairs
+// (j,l) and (l,j) fold into the single monomial ω_jω_l with coefficient
+// M[j][l]+M[l][j], matching the paper's Φ₂ = {ωᵢωⱼ} convention.
+func (q *Quadratic) ToPolynomial() *Polynomial {
+	d := q.Dim()
+	p := NewPolynomial(d)
+	if q.Beta != 0 {
+		p.AddTerm(Constant(d), q.Beta)
+	}
+	for i, a := range q.Alpha {
+		if a != 0 {
+			p.AddTerm(Linear(d, i), a)
+		}
+	}
+	for i := 0; i < d; i++ {
+		if v := q.M.At(i, i); v != 0 {
+			p.AddTerm(Product(d, i, i), v)
+		}
+		for j := i + 1; j < d; j++ {
+			if v := q.M.At(i, j) + q.M.At(j, i); v != 0 {
+				p.AddTerm(Product(d, i, j), v)
+			}
+		}
+	}
+	return p
+}
+
+// QuadraticFromPolynomial converts a degree-≤2 polynomial to the dense form,
+// splitting each cross-term coefficient symmetrically across M[i][j] and
+// M[j][i]. It returns an error for degree > 2.
+func QuadraticFromPolynomial(p *Polynomial) (*Quadratic, error) {
+	if p.Degree() > 2 {
+		return nil, fmt.Errorf("poly: polynomial has degree %d > 2", p.Degree())
+	}
+	d := p.NumVars()
+	q := NewQuadratic(d)
+	for _, t := range p.Terms() {
+		switch t.Mono.Degree() {
+		case 0:
+			q.Beta += t.Coef
+		case 1:
+			for i := 0; i < d; i++ {
+				if t.Mono.Exponent(i) == 1 {
+					q.Alpha[i] += t.Coef
+					break
+				}
+			}
+		case 2:
+			i, j := quadIndices(t.Mono)
+			if i == j {
+				q.M.AddAt(i, i, t.Coef)
+			} else {
+				q.M.AddAt(i, j, t.Coef/2)
+				q.M.AddAt(j, i, t.Coef/2)
+			}
+		}
+	}
+	return q, nil
+}
+
+// quadIndices returns the variable indices of a degree-2 monomial.
+func quadIndices(m Monomial) (int, int) {
+	i, j := -1, -1
+	for v := 0; v < m.NumVars(); v++ {
+		switch m.Exponent(v) {
+		case 2:
+			return v, v
+		case 1:
+			if i < 0 {
+				i = v
+			} else {
+				j = v
+			}
+		}
+	}
+	return i, j
+}

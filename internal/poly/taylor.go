@@ -1,0 +1,104 @@
+package poly
+
+import (
+	"fmt"
+	"math"
+)
+
+// Component is one f_l(g_l(tᵢ,ω)) term of the decomposition in paper §5.1:
+// the objective must be expressible as f(tᵢ,ω) = Σ_l f_l(g_l(tᵢ,ω)) with
+// each g_l a polynomial of ω. Derivs holds f_l(z_l), f_l′(z_l), f_l″(z_l) —
+// everything the order-2 truncation (Equation 10) needs.
+type Component struct {
+	// Derivs[k] is the k-th derivative of f_l evaluated at Z.
+	Derivs [3]float64
+	// Z is the expansion point z_l.
+	Z float64
+	// G is the inner polynomial g_l(tᵢ, ω).
+	G *Polynomial
+}
+
+// ExpandTruncated computes the order-2 truncated Taylor objective of paper
+// Equation 10 for a single tuple:
+//
+//	f̂(tᵢ,ω) = Σ_l Σ_{k=0..2} f_l⁽ᵏ⁾(z_l)/k! · (g_l(tᵢ,ω) − z_l)ᵏ
+//
+// as a polynomial in ω. When every g_l has degree 1 (as in logistic
+// regression) the result has degree ≤ 2 and feeds Algorithm 1 directly.
+func ExpandTruncated(components []Component) *Polynomial {
+	if len(components) == 0 {
+		panic("poly: ExpandTruncated with no components")
+	}
+	d := components[0].G.NumVars()
+	out := NewPolynomial(d)
+	for i, c := range components {
+		if c.G.NumVars() != d {
+			panic(fmt.Sprintf("poly: component %d over %d variables, want %d", i, c.G.NumVars(), d))
+		}
+		// shifted = g_l − z_l.
+		shifted := c.G.Clone().AddTerm(Constant(d), -c.Z)
+
+		// k = 0.
+		out.AddTerm(Constant(d), c.Derivs[0])
+		// k = 1.
+		out.Add(shifted.Clone().Scale(c.Derivs[1]))
+		// k = 2.
+		out.Add(shifted.Mul(shifted).Scale(c.Derivs[2] / 2))
+	}
+	return out
+}
+
+// Logistic regression specifics (paper §5.1): the cost
+// f(tᵢ,ω) = log(1+exp(xᵢᵀω)) − yᵢxᵢᵀω decomposes with
+// g₁ = xᵢᵀω, f₁(z) = log(1+eᶻ), g₂ = yᵢxᵢᵀω, f₂(z) = z, expanded at z = 0.
+
+// LogisticF1Derivs holds f₁⁽⁰⁾(0)=log 2, f₁⁽¹⁾(0)=1/2, f₁⁽²⁾(0)=1/4 — the
+// only derivative values the truncated expansion needs (paper §5.1).
+var LogisticF1Derivs = [3]float64{math.Ln2, 0.5, 0.25}
+
+// LogisticComponents returns the two-component decomposition of the logistic
+// cost for one tuple (x, y), ready for ExpandTruncated.
+func LogisticComponents(x []float64, y float64) []Component {
+	d := len(x)
+	g1 := NewPolynomial(d)
+	g2 := NewPolynomial(d)
+	for i, v := range x {
+		g1.AddTerm(Linear(d, i), v)
+		g2.AddTerm(Linear(d, i), y*v)
+	}
+	return []Component{
+		{Derivs: LogisticF1Derivs, Z: 0, G: g1},
+		{Derivs: [3]float64{0, -1, 0}, Z: 0, G: g2}, // f₂(z) = −z term of the cost
+	}
+}
+
+// LogisticTruncationErrorBound returns the Lemma 3+4 bound on the average
+// approximation error f̃(ω̂) − f̃(ω̃): (e²−e)/(6(1+e)³) ≈ 0.015, a constant
+// independent of the data (paper §5.2).
+func LogisticTruncationErrorBound() float64 {
+	e := math.E
+	return (e*e - e) / (6 * (1 + e) * (1 + e) * (1 + e))
+}
+
+// LogisticF1ThirdGlobalMax returns max over all z of |f₁⁽³⁾(z)| = √3/18.
+// The Lemma 4 analysis bounds f₁⁽³⁾ only on the window z ∈ [z₁−1, z₁+1]
+// (value (e²−e)/(1+e)³ ≈ 0.0908); the global maximum, attained at
+// σ(z) = (3±√3)/6, is what the Taylor-remainder bound needs once the
+// minimizers wander outside the window: |R₂(z)| ≤ (√3/18)·|z|³/6.
+func LogisticF1ThirdGlobalMax() float64 {
+	return math.Sqrt(3) / 18
+}
+
+// LogisticF1Third returns f₁⁽³⁾(z) = (eᶻ − e²ᶻ)/(1+eᶻ)³, used by tests to
+// verify the min/max values the paper derives for Lemma 4.
+func LogisticF1Third(z float64) float64 {
+	// Evaluate in a numerically stable form: e^z(1−e^z)/(1+e^z)³ =
+	// σ(z)·σ(−z)·(1−2σ(z)) with σ the sigmoid... the direct form is fine for
+	// the |z| ≤ 1 range Lemma 4 uses, and we guard large |z| explicitly.
+	if z > 30 || z < -30 {
+		return 0
+	}
+	ez := math.Exp(z)
+	den := (1 + ez) * (1 + ez) * (1 + ez)
+	return (ez - ez*ez) / den
+}

@@ -1,0 +1,178 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogisticF1DerivsGolden(t *testing.T) {
+	// Paper §5.1: f₁⁽⁰⁾(0)=log 2, f₁⁽¹⁾(0)=1/2, f₁⁽²⁾(0)=1/4.
+	if math.Abs(LogisticF1Derivs[0]-math.Log(2)) > 1e-15 {
+		t.Errorf("f1(0) = %v, want log 2", LogisticF1Derivs[0])
+	}
+	if LogisticF1Derivs[1] != 0.5 || LogisticF1Derivs[2] != 0.25 {
+		t.Errorf("derivs = %v, want [log2 1/2 1/4]", LogisticF1Derivs)
+	}
+}
+
+func TestLogisticTruncationErrorBoundGolden(t *testing.T) {
+	// Paper §5.2: (e²−e)/(6(1+e)³) ≈ 0.015.
+	got := LogisticTruncationErrorBound()
+	if math.Abs(got-0.015) > 2e-3 {
+		t.Fatalf("bound = %v, want ≈ 0.015", got)
+	}
+	e := math.E
+	exact := (e*e - e) / (6 * math.Pow(1+e, 3))
+	if math.Abs(got-exact) > 1e-15 {
+		t.Fatalf("bound = %v, want %v", got, exact)
+	}
+}
+
+func TestLogisticF1ThirdExtremes(t *testing.T) {
+	// Lemma 4 analysis: max f₁⁽³⁾ = (e²−e)/(1+e)³ at z=−1 on [−1,1],
+	// min = (e−e²)/(1+e)³ at z=1.
+	e := math.E
+	want := (e*e - e) / math.Pow(1+e, 3)
+	if got := LogisticF1Third(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("f1'''(−1) = %v, want %v", got, want)
+	}
+	if got := LogisticF1Third(1); math.Abs(got+want) > 1e-12 {
+		t.Errorf("f1'''(1) = %v, want %v", got, -want)
+	}
+	if got := LogisticF1Third(0); math.Abs(got) > 1e-15 {
+		t.Errorf("f1'''(0) = %v, want 0", got)
+	}
+	if got := LogisticF1Third(100); got != 0 {
+		t.Errorf("f1'''(100) = %v, want 0 (guarded tail)", got)
+	}
+}
+
+// numericThird computes f₁⁽³⁾ by finite differences of log(1+eᶻ).
+func numericThird(z float64) float64 {
+	f := func(z float64) float64 { return math.Log1p(math.Exp(z)) }
+	const h = 1e-3
+	return (f(z+2*h) - 2*f(z+h) + 2*f(z-h) - f(z-2*h)) / (2 * h * h * h)
+}
+
+func TestLogisticF1ThirdMatchesNumeric(t *testing.T) {
+	for _, z := range []float64{-2, -1, -0.3, 0, 0.5, 1, 2} {
+		want := numericThird(z)
+		if got := LogisticF1Third(z); math.Abs(got-want) > 1e-4 {
+			t.Errorf("f1'''(%v) = %v, numeric %v", z, got, want)
+		}
+	}
+}
+
+func TestExpandTruncatedLogisticClosedForm(t *testing.T) {
+	// For one tuple the truncated objective must equal
+	// log2 + ½xᵀω + ⅛(xᵀω)² − y·xᵀω  (paper §5.3).
+	x := []float64{0.3, -0.2, 0.5}
+	y := 1.0
+	p := ExpandTruncated(LogisticComponents(x, y))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		w := randomVec(rng, 3)
+		xw := x[0]*w[0] + x[1]*w[1] + x[2]*w[2]
+		want := math.Ln2 + 0.5*xw + 0.125*xw*xw - y*xw
+		if got := p.Eval(w); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("truncated eval = %v, want %v (w=%v)", got, want, w)
+		}
+	}
+}
+
+func TestExpandTruncatedDegreeTwo(t *testing.T) {
+	p := ExpandTruncated(LogisticComponents([]float64{0.1, 0.9}, 0))
+	if p.Degree() != 2 {
+		t.Fatalf("Degree = %d, want 2", p.Degree())
+	}
+}
+
+// Property: for any unit-sphere x and w with |xᵀω| ≤ 1, the truncation error
+// against the true logistic cost is within the Lemma 4 remainder bound
+// max|f₁⁽³⁾|·|z|³/6 ≤ 0.0154.
+func TestTruncationWithinLemma4BoundProperty(t *testing.T) {
+	bound := LogisticTruncationErrorBound() * 6 / 6 // per-tuple remainder, |z|≤1
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		x := randomVec(rng, d)
+		// Normalize into the unit sphere.
+		var norm float64
+		for _, v := range x {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm > 0 {
+			for i := range x {
+				x[i] /= norm
+			}
+		}
+		y := float64(rng.Intn(2))
+		w := randomVec(rng, d)
+		// Scale w so |xᵀω| ≤ 1 (the Lemma 4 window around z=0).
+		var xw float64
+		for i := range x {
+			xw += x[i] * w[i]
+		}
+		if math.Abs(xw) > 1 {
+			for i := range w {
+				w[i] /= math.Abs(xw)
+			}
+			xw = xw / math.Abs(xw)
+		}
+		truth := math.Log1p(math.Exp(xw)) - y*xw
+		approx := ExpandTruncated(LogisticComponents(x, y)).Eval(w)
+		return math.Abs(truth-approx) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandTruncatedEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty component list")
+		}
+	}()
+	ExpandTruncated(nil)
+}
+
+func TestExpandTruncatedNonzeroCenter(t *testing.T) {
+	// f(z) = z² expanded at z=1 is exact: 1 + 2(g−1) + (g−1)².
+	d := 1
+	g := NewPolynomial(d).AddTerm(Linear(d, 0), 1) // g(ω) = ω
+	c := Component{Derivs: [3]float64{1, 2, 2}, Z: 1, G: g}
+	p := ExpandTruncated([]Component{c})
+	for _, w := range []float64{-2, 0, 0.5, 3} {
+		if got, want := p.Eval([]float64{w}), w*w; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("expanded f(%v) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestLogisticF1ThirdGlobalMaxGolden(t *testing.T) {
+	// The global maximum of |f₁⁽³⁾| is √3/18 ≈ 0.0962, attained where
+	// σ(z) = (3±√3)/6; verify against a dense scan.
+	want := math.Sqrt(3) / 18
+	if got := LogisticF1ThirdGlobalMax(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("global max = %v, want √3/18 = %v", got, want)
+	}
+	scanMax := 0.0
+	for z := -10.0; z <= 10; z += 1e-3 {
+		if v := math.Abs(LogisticF1Third(z)); v > scanMax {
+			scanMax = v
+		}
+	}
+	if math.Abs(scanMax-want) > 1e-6 {
+		t.Fatalf("scan max %v disagrees with closed form %v", scanMax, want)
+	}
+	// And it strictly dominates the Lemma 4 window value (e²−e)/(1+e)³.
+	e := math.E
+	window := (e*e - e) / math.Pow(1+e, 3)
+	if want <= window {
+		t.Fatalf("global max %v not above window max %v", want, window)
+	}
+}

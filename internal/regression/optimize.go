@@ -1,0 +1,101 @@
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"funcmech/internal/linalg"
+	"funcmech/internal/poly"
+)
+
+// ErrUnboundedObjective is returned when a quadratic objective has no
+// minimum (its coefficient matrix is not positive definite). The functional
+// mechanism reaches this state whenever injected noise pushes M outside the
+// SPD cone — the condition paper §6 exists to repair.
+var ErrUnboundedObjective = errors.New("regression: quadratic objective is unbounded below")
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget without meeting tolerance.
+var ErrNoConvergence = errors.New("regression: optimizer did not converge")
+
+// MinimizeQuadratic returns argmin ωᵀMω + αᵀω + β by solving the stationary
+// system 2Mω = −α. It requires symmetric positive definite M and returns
+// ErrUnboundedObjective otherwise — the caller decides whether to
+// regularize, trim, or resample (paper §6).
+func MinimizeQuadratic(q *poly.Quadratic) ([]float64, error) {
+	m := q.M.Clone().Symmetrize().ScaleMat(2)
+	ch, err := linalg.Cholesky(m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnboundedObjective, err)
+	}
+	w := ch.Solve(linalg.Scale(-1, q.Alpha))
+	if !linalg.AllFinite(w) {
+		return nil, fmt.Errorf("%w: non-finite solution", ErrUnboundedObjective)
+	}
+	return w, nil
+}
+
+// GDOptions tunes GradientDescent.
+type GDOptions struct {
+	// MaxIters bounds the outer iterations (default 500).
+	MaxIters int
+	// Tol is the stopping threshold on the gradient infinity norm
+	// (default 1e-8).
+	Tol float64
+	// InitialStep seeds the backtracking line search (default 1).
+	InitialStep float64
+}
+
+func (o GDOptions) withDefaults() GDOptions {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 500
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.InitialStep <= 0 {
+		o.InitialStep = 1
+	}
+	return o
+}
+
+// GradientDescent minimizes f from init with backtracking (Armijo) line
+// search. It is the generic fallback optimizer: Newton handles the smooth
+// well-conditioned cases faster, but gradient descent never needs an
+// invertible Hessian.
+func GradientDescent(f func([]float64) float64, grad func([]float64) []float64, init []float64, opt GDOptions) ([]float64, error) {
+	opt = opt.withDefaults()
+	w := linalg.CloneVec(init)
+	fw := f(w)
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		g := grad(w)
+		if linalg.NormInf(g) < opt.Tol {
+			return w, nil
+		}
+		step := opt.InitialStep
+		g2 := linalg.Dot(g, g)
+		improved := false
+		for ls := 0; ls < 60; ls++ {
+			cand := linalg.CloneVec(w)
+			linalg.AXPY(-step, g, cand)
+			fc := f(cand)
+			if fc <= fw-1e-4*step*g2 && !math.IsNaN(fc) {
+				w, fw = cand, fc
+				improved = true
+				break
+			}
+			step /= 2
+		}
+		if !improved {
+			// The line search stalled at numerical precision: treat the
+			// current iterate as converged rather than spinning.
+			return w, nil
+		}
+	}
+	g := grad(w)
+	if linalg.NormInf(g) < math.Sqrt(opt.Tol) {
+		return w, nil
+	}
+	return w, ErrNoConvergence
+}

@@ -1,0 +1,126 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// experiment harness reports with: means, sample deviations, quantiles, and
+// bootstrap confidence intervals for the cross-validated metrics (the
+// paper's plots show means over 50 repetitions; confidence intervals make
+// the reproduction's smaller repetition counts honest).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator; 0 for
+// fewer than two values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) with linear interpolation
+// between order statistics. The input is not modified.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile p=%v outside [0,1]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Interval is a two-sided confidence interval for a statistic.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// BootstrapMeanCI estimates a percentile-bootstrap confidence interval for
+// the mean at the given level (e.g. 0.95), using resamples draws.
+func BootstrapMeanCI(xs []float64, level float64, resamples int, rng *rand.Rand) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, fmt.Errorf("stats: bootstrap of empty sample")
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence level %v outside (0,1)", level)
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("stats: %d resamples is too few", resamples)
+	}
+	means := make([]float64, resamples)
+	for r := range means {
+		var s float64
+		for i := 0; i < len(xs); i++ {
+			s += xs[rng.Intn(len(xs))]
+		}
+		means[r] = s / float64(len(xs))
+	}
+	alpha := (1 - level) / 2
+	return Interval{Lo: Quantile(means, alpha), Hi: Quantile(means, 1-alpha)}, nil
+}
+
+// Summary bundles the descriptive statistics of one sample.
+type Summary struct {
+	N             int
+	Mean, StdDev  float64
+	Min, Med, Max float64
+	Q25, Q75      float64
+}
+
+// Summarize computes a Summary (zero value for empty input).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Quantile(xs, 0),
+		Q25:    Quantile(xs, 0.25),
+		Med:    Median(xs),
+		Q75:    Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+	}
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v, want ≈ 2.138", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("singleton StdDev should be 0")
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input untouched.
+	if xs[0] != 4 {
+		t.Fatal("Quantile sorted its input in place")
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p>1")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestMedianSingleton(t *testing.T) {
+	if Median([]float64{7}) != 7 {
+		t.Fatal("Median of singleton")
+	}
+}
+
+// Property: quantiles are monotone in p and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0001; p += 0.1 {
+			q := Quantile(xs, math.Min(p, 1))
+			if q < prev-1e-12 {
+				return false
+			}
+			prev = q
+		}
+		return Quantile(xs, 0) <= Quantile(xs, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapMeanCICoverage(t *testing.T) {
+	// For Gaussian samples, a 95% bootstrap CI should contain the true mean
+	// in roughly 95% of experiments; check it's at least 85% over 200 runs.
+	rng := rand.New(rand.NewSource(1))
+	const truth = 3.0
+	hits := 0
+	const runs = 200
+	for r := 0; r < runs; r++ {
+		xs := make([]float64, 40)
+		for i := range xs {
+			xs[i] = truth + rng.NormFloat64()
+		}
+		iv, err := BootstrapMeanCI(xs, 0.95, 500, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(truth) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / runs; frac < 0.85 {
+		t.Fatalf("bootstrap coverage %v, want ≥ 0.85", frac)
+	}
+}
+
+func TestBootstrapMeanCIErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := BootstrapMeanCI(nil, 0.95, 100, rng); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 1.5, 100, rng); err == nil {
+		t.Error("bad level should fail")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 0.95, 3, rng); err == nil {
+		t.Error("too few resamples should fail")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3}
+	if !iv.Contains(2) || iv.Contains(0) || iv.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	if iv.Width() != 2 {
+		t.Fatalf("Width = %v", iv.Width())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Med != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.Q25 != 2 || s.Q75 != 4 {
+		t.Fatalf("quartiles = %v, %v", s.Q25, s.Q75)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty Summarize should be zero")
+	}
+}
+
+// Property: the CI width shrinks (stochastically) as the sample grows.
+func TestBootstrapWidthShrinksProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	width := func(n int) float64 {
+		var total float64
+		for r := 0; r < 10; r++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			iv, err := BootstrapMeanCI(xs, 0.95, 300, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += iv.Width()
+		}
+		return total / 10
+	}
+	if w1, w2 := width(10), width(1000); w2 >= w1 {
+		t.Fatalf("CI width did not shrink: n=10 → %v, n=1000 → %v", w1, w2)
+	}
+}

@@ -1,0 +1,128 @@
+package funcmech
+
+import (
+	"math/rand"
+
+	"funcmech/internal/core"
+	"funcmech/internal/noise"
+)
+
+// PostProcess selects how an unbounded noisy objective is repaired; see
+// paper §6 and the core package documentation.
+type PostProcess = core.PostProcess
+
+// Post-processing strategies, re-exported from the mechanism core.
+const (
+	// RegularizeAndTrim is the paper's recommended pipeline (default).
+	RegularizeAndTrim = core.PostProcessRegularizeAndTrim
+	// RegularizeOnly applies §6.1 ridge regularization alone.
+	RegularizeOnly = core.PostProcessRegularizeOnly
+	// Resample re-perturbs until bounded, at privacy cost 2ε (Lemma 5).
+	Resample = core.PostProcessResample
+	// NoPostProcess fails on unbounded noisy objectives.
+	NoPostProcess = core.PostProcessNone
+)
+
+type config struct {
+	opts      core.Options
+	rng       *rand.Rand
+	seed      int64
+	hasSeed   bool
+	threshold *float64
+	intercept bool
+	ridge     float64
+}
+
+// Option customizes a regression call.
+type Option func(*config)
+
+// WithPostProcess selects the §6 repair strategy.
+func WithPostProcess(p PostProcess) Option {
+	return func(c *config) { c.opts.PostProcess = p }
+}
+
+// WithLambdaFactor overrides the regularization rule λ = factor×sd(noise);
+// the paper uses 4.
+func WithLambdaFactor(f float64) Option {
+	return func(c *config) { c.opts.LambdaFactor = f }
+}
+
+// WithSeed makes the mechanism's noise deterministic — for reproduction and
+// tests. Without a seed (or WithRand), a random seed is drawn.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed; c.hasSeed = true }
+}
+
+// WithRand supplies the random source directly; it overrides WithSeed.
+func WithRand(rng *rand.Rand) Option {
+	return func(c *config) { c.rng = rng }
+}
+
+// WithBinarizeThreshold makes LogisticRegression derive the boolean target
+// as (target > t), the transformation the paper applies to Annual Income.
+// Without it the dataset's target must already be 0/1.
+func WithBinarizeThreshold(t float64) Option {
+	return func(c *config) { c.threshold = &t }
+}
+
+// WithRidge adds an L2 penalty weight·‖ω‖² to the linear-regression
+// objective before perturbation (Hoerl–Kennard shrinkage as a modelling
+// choice, distinct from the §6.1 noise-repair ridge). The penalty involves
+// no data, so the privacy calibration is unchanged. Linear regression only.
+func WithRidge(weight float64) Option {
+	return func(c *config) { c.ridge = weight }
+}
+
+// WithIntercept adds a constant bias term to the model — the "more general
+// form" of the paper's footnote 2. Internally an always-one feature column
+// is appended before normalization, so the dimensionality (and therefore the
+// sensitivity Δ) grows by one; the privacy guarantee is unchanged. Use it
+// whenever the target's level is not zero at the feature-space origin, which
+// is nearly always for raw data.
+func WithIntercept() Option {
+	return func(c *config) { c.intercept = true }
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.rng == nil {
+		if c.hasSeed {
+			c.rng = noise.NewRand(c.seed)
+		} else {
+			c.rng = rand.New(rand.NewSource(rand.Int63()))
+		}
+	}
+	return c
+}
+
+// Report describes what one differentially private fit consumed and did.
+type Report struct {
+	// Epsilon is the privacy budget actually spent: ε, or 2ε under
+	// Resample.
+	Epsilon float64
+	// Delta is the coefficient sensitivity (2(d+1)² linear, d²/4+3d
+	// logistic).
+	Delta float64
+	// NoiseScale is Δ/ε, the Laplace scale per coefficient.
+	NoiseScale float64
+	// Lambda is the §6.1 ridge weight applied (0 when none).
+	Lambda float64
+	// Trimmed counts eigenvalues removed by §6.2 spectral trimming.
+	Trimmed int
+	// Resamples counts Lemma 5 retries.
+	Resamples int
+}
+
+func reportFrom(res *core.Result) *Report {
+	return &Report{
+		Epsilon:    res.EpsilonSpent,
+		Delta:      res.Delta,
+		NoiseScale: res.NoiseScale,
+		Lambda:     res.Lambda,
+		Trimmed:    res.Trimmed,
+		Resamples:  res.Resamples,
+	}
+}

@@ -1,0 +1,65 @@
+package funcmech_test
+
+import (
+	"math"
+	"testing"
+
+	"funcmech"
+)
+
+func TestWithRidgeShrinksPublicModel(t *testing.T) {
+	ds := incomeDataset(5000, 20)
+	plain, _, err := funcmech.LinearRegression(ds, 1e9, funcmech.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridged, _, err := funcmech.LinearRegression(ds, 1e9, funcmech.WithSeed(1), funcmech.WithRidge(1e5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var np, nr float64
+	for i, w := range plain.Weights() {
+		np += w * w
+		nr += ridged.Weights()[i] * ridged.Weights()[i]
+	}
+	if nr >= np {
+		t.Fatalf("ridge did not shrink weights: ‖ω‖² %v vs %v", nr, np)
+	}
+}
+
+func TestWithRidgeReportsLinearDelta(t *testing.T) {
+	ds := incomeDataset(500, 21)
+	_, report, err := funcmech.LinearRegression(ds, 0.8, funcmech.WithSeed(2), funcmech.WithRidge(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d=3 ⇒ Δ = 2(3+1)² = 32, unchanged by the penalty.
+	if report.Delta != 32 {
+		t.Fatalf("Delta = %v, want 32", report.Delta)
+	}
+}
+
+func TestWithRidgeRejectsNegative(t *testing.T) {
+	ds := incomeDataset(100, 22)
+	if _, _, err := funcmech.LinearRegression(ds, 1, funcmech.WithRidge(-1)); err == nil {
+		t.Fatal("expected error for negative ridge weight")
+	}
+}
+
+func TestWithRidgeTinyWeightMatchesPlain(t *testing.T) {
+	ds := incomeDataset(2000, 23)
+	a, _, err := funcmech.LinearRegression(ds, 1e9, funcmech.WithSeed(3), funcmech.WithRidge(1e-12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := funcmech.LinearRegression(ds, 1e9, funcmech.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, wb := a.Weights(), b.Weights()
+	for i := range wa {
+		if math.Abs(wa[i]-wb[i]) > 1e-6 {
+			t.Fatalf("negligible ridge changed the model: %v vs %v", wa, wb)
+		}
+	}
+}

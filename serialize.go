@@ -1,0 +1,119 @@
+package funcmech
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"funcmech/internal/dataset"
+)
+
+// modelEnvelope is the on-disk format shared by both model kinds. The
+// weights are differentially private, so persisting them is as safe as
+// releasing them; the schema bounds are public by assumption.
+type modelEnvelope struct {
+	Kind      string    `json:"kind"` // "linear" or "logistic"
+	Schema    Schema    `json:"schema"`
+	Weights   []float64 `json:"weights"`
+	Intercept bool      `json:"intercept"`
+	Threshold *float64  `json:"threshold,omitempty"`
+	Version   int       `json:"version"`
+}
+
+const envelopeVersion = 1
+
+// Save writes the model as JSON. Everything serialized is already public
+// under the model's ε guarantee.
+func (m *LinearModel) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(modelEnvelope{
+		Kind:      "linear",
+		Schema:    m.schema,
+		Weights:   m.weights,
+		Intercept: m.intercept,
+		Version:   envelopeVersion,
+	})
+}
+
+// Save writes the model as JSON.
+func (m *LogisticModel) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(modelEnvelope{
+		Kind:      "logistic",
+		Schema:    m.schema,
+		Weights:   m.weights,
+		Intercept: m.intercept,
+		Threshold: m.threshold,
+		Version:   envelopeVersion,
+	})
+}
+
+// LoadLinearModel reads a model written by LinearModel.Save.
+func LoadLinearModel(r io.Reader) (*LinearModel, error) {
+	env, err := decodeEnvelope(r, "linear")
+	if err != nil {
+		return nil, err
+	}
+	nz, err := envelopeNormalizer(env)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearModel{
+		weights:   env.Weights,
+		nz:        nz,
+		schema:    env.Schema,
+		intercept: env.Intercept,
+	}, nil
+}
+
+// LoadLogisticModel reads a model written by LogisticModel.Save.
+func LoadLogisticModel(r io.Reader) (*LogisticModel, error) {
+	env, err := decodeEnvelope(r, "logistic")
+	if err != nil {
+		return nil, err
+	}
+	nz, err := envelopeNormalizer(env)
+	if err != nil {
+		return nil, err
+	}
+	return &LogisticModel{
+		weights:   env.Weights,
+		nz:        nz,
+		schema:    env.Schema,
+		intercept: env.Intercept,
+		threshold: env.Threshold,
+	}, nil
+}
+
+func decodeEnvelope(r io.Reader, kind string) (*modelEnvelope, error) {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("funcmech: decoding model: %w", err)
+	}
+	if env.Kind != kind {
+		return nil, fmt.Errorf("funcmech: model kind %q, want %q", env.Kind, kind)
+	}
+	if env.Version != envelopeVersion {
+		return nil, fmt.Errorf("funcmech: unsupported model version %d", env.Version)
+	}
+	want := len(env.Schema.Features)
+	if env.Intercept {
+		want++
+	}
+	if len(env.Weights) != want {
+		return nil, fmt.Errorf("funcmech: model has %d weights for %d features", len(env.Weights), want)
+	}
+	return &env, nil
+}
+
+// envelopeNormalizer rebuilds the normalizer the model was trained with,
+// re-deriving the intercept column when present.
+func envelopeNormalizer(env *modelEnvelope) (*dataset.Normalizer, error) {
+	s := env.Schema
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("funcmech: stored schema invalid: %w", err)
+	}
+	inner := s.internal()
+	if env.Intercept {
+		inner.Features = append(inner.Features, dataset.Attribute{Name: interceptName, Min: 0, Max: 1})
+	}
+	return dataset.NewNormalizer(inner), nil
+}

@@ -1,0 +1,76 @@
+package funcmech
+
+import (
+	"fmt"
+
+	"funcmech/internal/noise"
+)
+
+// Session tracks a total privacy budget across multiple analyses of the same
+// underlying population — the sequential-composition discipline of
+// differential privacy. Every fit debits the accountant before touching the
+// data; once the budget is exhausted further fits fail rather than silently
+// eroding the guarantee.
+//
+//	s := funcmech.NewSession(1.0)                   // lifetime ε = 1.0
+//	m1, _, err := s.LinearRegression(ds, 0.5)       // spends 0.5
+//	m2, _, err := s.LogisticRegression(ds2, 0.5,    // spends the rest
+//	    funcmech.WithBinarizeThreshold(35000))
+//	_, _, err = s.LinearRegression(ds, 0.1)         // ErrBudgetExhausted
+//
+// Note the Resample post-processing option costs 2ε (Lemma 5); the session
+// charges the doubled amount. A fit that fails after the debit (e.g. a
+// validation error) still consumes its budget: whether the pipeline errored
+// is itself data-dependent information, so refunding it would be unsound.
+type Session struct {
+	budget *noise.Budget
+}
+
+// ErrBudgetExhausted is returned when a fit would exceed the session budget.
+var ErrBudgetExhausted = noise.ErrBudgetExhausted
+
+// NewSession returns a session with the given total ε. It panics for a
+// non-positive budget (a programming error).
+func NewSession(totalEpsilon float64) *Session {
+	return &Session{budget: noise.NewBudget(totalEpsilon)}
+}
+
+// Remaining returns the unspent budget.
+func (s *Session) Remaining() float64 { return s.budget.Remaining() }
+
+// Spent returns the consumed budget.
+func (s *Session) Spent() float64 { return s.budget.Spent() }
+
+// Total returns the configured lifetime budget.
+func (s *Session) Total() float64 { return s.budget.Total() }
+
+// charge computes the true cost of a fit with the given options (Resample
+// doubles it, Lemma 5) and debits the accountant.
+func (s *Session) charge(epsilon float64, opts []Option) error {
+	if epsilon <= 0 {
+		return fmt.Errorf("funcmech: non-positive ε %v", epsilon)
+	}
+	cost := epsilon
+	cfg := buildConfig(opts)
+	if cfg.opts.PostProcess == Resample {
+		cost = 2 * epsilon
+	}
+	return s.budget.Spend(cost)
+}
+
+// LinearRegression is LinearRegression debited against the session budget.
+func (s *Session) LinearRegression(ds *Dataset, epsilon float64, opts ...Option) (*LinearModel, *Report, error) {
+	if err := s.charge(epsilon, opts); err != nil {
+		return nil, nil, err
+	}
+	return LinearRegression(ds, epsilon, opts...)
+}
+
+// LogisticRegression is LogisticRegression debited against the session
+// budget.
+func (s *Session) LogisticRegression(ds *Dataset, epsilon float64, opts ...Option) (*LogisticModel, *Report, error) {
+	if err := s.charge(epsilon, opts); err != nil {
+		return nil, nil, err
+	}
+	return LogisticRegression(ds, epsilon, opts...)
+}

@@ -1,0 +1,169 @@
+package funcmech_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"funcmech"
+)
+
+func TestSessionBudgetAccounting(t *testing.T) {
+	ds := incomeDataset(500, 30)
+	s := funcmech.NewSession(1.0)
+	if s.Total() != 1.0 || s.Remaining() != 1.0 {
+		t.Fatalf("fresh session: total %v remaining %v", s.Total(), s.Remaining())
+	}
+	if _, _, err := s.LinearRegression(ds, 0.5, funcmech.WithSeed(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Spent() != 0.5 {
+		t.Fatalf("Spent = %v, want 0.5", s.Spent())
+	}
+	if _, _, err := s.LinearRegression(ds, 0.5, funcmech.WithSeed(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := s.LinearRegression(ds, 0.1, funcmech.WithSeed(3))
+	if !errors.Is(err, funcmech.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestSessionChargesResampleDouble(t *testing.T) {
+	ds := incomeDataset(500, 31)
+	s := funcmech.NewSession(1.0)
+	if _, _, err := s.LinearRegression(ds, 0.4, funcmech.WithSeed(1),
+		funcmech.WithPostProcess(funcmech.Resample)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Spent() != 0.8 {
+		t.Fatalf("Resample spent %v, want 0.8 (Lemma 5 doubles)", s.Spent())
+	}
+}
+
+func TestSessionRejectsOversizedSingleFit(t *testing.T) {
+	ds := incomeDataset(100, 32)
+	s := funcmech.NewSession(0.5)
+	if _, _, err := s.LinearRegression(ds, 1.0); !errors.Is(err, funcmech.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// The failed request must not consume anything.
+	if s.Spent() != 0 {
+		t.Fatalf("failed over-budget fit consumed %v", s.Spent())
+	}
+}
+
+func TestSessionLogistic(t *testing.T) {
+	ds := incomeDataset(2000, 33)
+	s := funcmech.NewSession(2.0)
+	if _, _, err := s.LogisticRegression(ds, 1.5,
+		funcmech.WithSeed(4), funcmech.WithBinarizeThreshold(60000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Remaining(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Remaining = %v, want 0.5", got)
+	}
+}
+
+func TestSessionNonPositiveEpsilon(t *testing.T) {
+	s := funcmech.NewSession(1)
+	if _, _, err := s.LinearRegression(incomeDataset(10, 34), 0); err == nil {
+		t.Fatal("expected error for ε=0")
+	}
+	if s.Spent() != 0 {
+		t.Fatal("invalid request consumed budget")
+	}
+}
+
+func TestLinearModelSaveLoadRoundTrip(t *testing.T) {
+	ds := incomeDataset(3000, 35)
+	m, _, err := funcmech.LinearRegression(ds, 3.2, funcmech.WithSeed(5), funcmech.WithIntercept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := funcmech.LoadLinearModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions on raw inputs, including the intercept path.
+	for _, x := range [][]float64{{30, 12, 40}, {70, 17, 0}, {16, 0, 99}} {
+		if a, b := m.Predict(x), back.Predict(x); a != b {
+			t.Fatalf("prediction drift after round trip: %v vs %v", a, b)
+		}
+	}
+	wa, wb := m.Weights(), back.Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("weights drift after round trip")
+		}
+	}
+}
+
+func TestLogisticModelSaveLoadRoundTrip(t *testing.T) {
+	ds := incomeDataset(3000, 36)
+	m, _, err := funcmech.LogisticRegression(ds, 3.2,
+		funcmech.WithSeed(6), funcmech.WithBinarizeThreshold(60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := funcmech.LoadLogisticModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{45, 14, 50}
+	if a, b := m.Probability(x), back.Probability(x); a != b {
+		t.Fatalf("probability drift: %v vs %v", a, b)
+	}
+	// The binarization threshold must survive, so evaluation still works.
+	test := incomeDataset(300, 37)
+	r1, err := m.MisclassificationRate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := back.MisclassificationRate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("rate drift: %v vs %v", r1, r2)
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	ds := incomeDataset(300, 38)
+	m, _, err := funcmech.LinearRegression(ds, 1, funcmech.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := funcmech.LoadLogisticModel(&buf); err == nil {
+		t.Fatal("loading a linear model as logistic must fail")
+	}
+}
+
+func TestLoadRejectsCorruptPayloads(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         "not json",
+		"wrong version":   `{"kind":"linear","version":99,"schema":{"Features":[{"Name":"x","Min":0,"Max":1}],"Target":{"Name":"y","Min":0,"Max":1}},"weights":[1]}`,
+		"weight mismatch": `{"kind":"linear","version":1,"schema":{"Features":[{"Name":"x","Min":0,"Max":1}],"Target":{"Name":"y","Min":0,"Max":1}},"weights":[1,2,3]}`,
+		"bad schema":      `{"kind":"linear","version":1,"schema":{"Features":[{"Name":"x","Min":1,"Max":1}],"Target":{"Name":"y","Min":0,"Max":1}},"weights":[1]}`,
+	}
+	for name, payload := range cases {
+		if _, err := funcmech.LoadLinearModel(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: expected load error", name)
+		}
+	}
+}
