@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"funcmech"
@@ -236,6 +237,39 @@ func BenchmarkAblationTaylor(b *testing.B) {
 }
 
 // --- Mechanism micro-benchmarks ---------------------------------------------
+
+// BenchmarkObjective measures the objective-accumulation hot path — the
+// mechanism's only O(n·d²) pass over the records — at production-ish scale
+// (n=100k, d=14), serial vs sharded. The parallelism grid {1, 4, all cores}
+// (deduplicated, so a single-core machine benches only the serial sweep) is
+// the perf trajectory future PRs track; the 4-vs-1 ratio is the headline
+// speedup number on a multi-core runner.
+func BenchmarkObjective(b *testing.B) {
+	pars := []int{1}
+	for _, p := range []int{4, runtime.GOMAXPROCS(0)} {
+		if p <= runtime.GOMAXPROCS(0) && p != pars[len(pars)-1] && p > 1 {
+			pars = append(pars, p)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		kind experiments.TaskKind
+		task core.Task
+	}{
+		{"linear", experiments.TaskLinear, core.LinearTask{}},
+		{"logistic", experiments.TaskLogistic, core.LogisticTask{}},
+	} {
+		ds := preparedCensus(b, census.US(), tc.kind, 14, 100000)
+		for _, par := range pars {
+			b.Run(fmt.Sprintf("%s/n=100k/d=14/parallelism=%d", tc.name, par), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.ParallelObjective(tc.task, ds, par)
+				}
+			})
+		}
+	}
+}
 
 func BenchmarkPerturbCoefficients(b *testing.B) {
 	for _, dim := range []int{5, 14} {

@@ -28,7 +28,8 @@ func main() {
 		folds      = flag.Int("folds", 5, "cross-validation folds")
 		epsilon    = flag.Float64("epsilon", experiments.DefaultEpsilon, "default privacy budget for non-ε sweeps")
 		dim        = flag.Int("dim", experiments.DefaultDimensionality, "default dimensionality for non-d sweeps (5, 8, 11, 14)")
-		seed       = flag.Int64("seed", 1, "base seed; every run with the same seed is identical")
+		seed       = flag.Int64("seed", 1, "base seed; runs with the same seed and parallelism on the same machine are identical (use -parallelism=1 for machine-independent results)")
+		par        = flag.Int("parallelism", 0, "objective-accumulation workers for FM fits (0 = all cores, 1 = serial)")
 		plotFlag   = flag.Bool("plot", false, "render each sweep as an ASCII chart after its table")
 		csvFlag    = flag.Bool("csv", false, "emit sweep results as CSV instead of aligned tables")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
@@ -50,6 +51,7 @@ func main() {
 	cfg.Epsilon = *epsilon
 	cfg.Dimensionality = *dim
 	cfg.BaseSeed = *seed
+	cfg.Parallelism = *par
 	cfg.Plot = *plotFlag
 	cfg.CSV = *csvFlag
 

@@ -25,6 +25,15 @@
 // the normalization the privacy analysis requires); they must not be
 // computed from the sensitive data itself.
 //
+// # Performance
+//
+// A fit's dominant cost on large datasets is accumulating the objective's
+// polynomial coefficients, an O(n·d²) pass over the records. That pass is
+// sharded across a bounded worker pool — runtime.GOMAXPROCS(0) workers by
+// default, tunable per fit with WithParallelism(n); WithParallelism(1)
+// forces the serial sweep. Parallelism never changes the privacy
+// calibration, only the floating-point summation order.
+//
 // # What the privacy guarantee covers
 //
 // The returned model weights are ε-differentially private with respect to

@@ -1,0 +1,3 @@
+module funcmech
+
+go 1.24

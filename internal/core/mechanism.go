@@ -59,7 +59,7 @@ func Run(task Task, ds *dataset.Dataset, eps float64, rng *rand.Rand, opts Optio
 	d := ds.D()
 	delta := task.Sensitivity(d)
 	scale := noise.NewLaplace(delta, eps)
-	exact := task.Objective(ds)
+	exact := ParallelObjective(task, ds, opts.Parallelism)
 
 	res := &Result{
 		Delta:        delta,

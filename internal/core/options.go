@@ -48,6 +48,12 @@ type Options struct {
 	LambdaFactor float64
 	// MaxResamples caps the Lemma 5 retry loop (0 means 64).
 	MaxResamples int
+	// Parallelism bounds the worker pool that accumulates the objective
+	// f̂_D(ω), the mechanism's only O(n·d²) step. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the serial sweep. Parallelism only
+	// changes the floating-point summation tree, never the privacy
+	// calibration: noise is drawn after accumulation, from the same stream.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +72,9 @@ func (o Options) validate() error {
 	}
 	if o.MaxResamples < 0 {
 		return fmt.Errorf("core: negative MaxResamples %d", o.MaxResamples)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: negative Parallelism %d", o.Parallelism)
 	}
 	if o.PostProcess < PostProcessRegularizeAndTrim || o.PostProcess > PostProcessNone {
 		return fmt.Errorf("core: unknown PostProcess %d", int(o.PostProcess))

@@ -33,13 +33,34 @@ func (r RidgeTask) Sensitivity(d int) float64 { return LinearTask{}.Sensitivity(
 // Objective returns the penalized quadratic: LinearTask's plus Weight·I on
 // the second-order matrix.
 func (r RidgeTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
+	r.checkWeight() // fail before the O(n·d²) sweep, not after
+	a := NewAccumulator(r, ds.D())
+	a.AddBatch(ds, dataset.Shard{Lo: 0, Hi: ds.N()})
+	return a.Quadratic()
+}
+
+// AccumulateRecord implements RecordTask by delegating to LinearTask: the
+// penalty term involves no data.
+func (RidgeTask) AccumulateRecord(acc *poly.Quadratic, x []float64, y float64) {
+	LinearTask{}.AccumulateRecord(acc, x, y)
+}
+
+// FinalizeObjective implements RecordTask, adding the data-independent
+// penalty Weight·I once per objective (not per shard).
+func (r RidgeTask) FinalizeObjective(q *poly.Quadratic, n int) {
+	r.checkWeight()
+	q.M.AddDiagonal(r.Weight)
+}
+
+func (r RidgeTask) checkWeight() {
 	if r.Weight < 0 {
 		panic(fmt.Sprintf("core: negative ridge weight %v", r.Weight))
 	}
-	q := LinearTask{}.Objective(ds)
-	q.M.AddDiagonal(r.Weight)
-	return q
 }
 
-// Validate matches LinearTask's preconditions.
-func (r RidgeTask) Validate(ds *dataset.Dataset) error { return LinearTask{}.Validate(ds) }
+// Validate matches LinearTask's preconditions; a negative penalty weight is
+// a programming error and panics here, before the mechanism's record sweep.
+func (r RidgeTask) Validate(ds *dataset.Dataset) error {
+	r.checkWeight()
+	return LinearTask{}.Validate(ds)
+}

@@ -63,24 +63,30 @@ func (LinearTask) Sensitivity(d int) float64 {
 
 // Objective returns the exact quadratic of §4.2:
 // M = XᵀX, α = −2Xᵀy, β = Σyᵢ².
-func (LinearTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
-	q := poly.NewQuadratic(ds.D())
-	for i := 0; i < ds.N(); i++ {
-		x := ds.Row(i)
-		y := ds.Label(i)
-		for a, va := range x {
-			if va != 0 {
-				row := q.M.Row(a)
-				for b, vb := range x {
-					row[b] += va * vb
-				}
-			}
-			q.Alpha[a] -= 2 * y * va
-		}
-		q.Beta += y * y
-	}
-	return q
+func (t LinearTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
+	a := NewAccumulator(t, ds.D())
+	a.AddBatch(ds, dataset.Shard{Lo: 0, Hi: ds.N()})
+	return a.Quadratic()
 }
+
+// AccumulateRecord implements RecordTask: xxᵀ on the upper triangle of M,
+// −2y·x on α, y² on β.
+func (LinearTask) AccumulateRecord(acc *poly.Quadratic, x []float64, y float64) {
+	for a, va := range x {
+		if va != 0 {
+			row := acc.M.Row(a)
+			for b := a; b < len(x); b++ {
+				row[b] += va * x[b]
+			}
+		}
+		acc.Alpha[a] -= 2 * y * va
+	}
+	acc.Beta += y * y
+}
+
+// FinalizeObjective implements RecordTask; the linear objective has no
+// per-dataset terms.
+func (LinearTask) FinalizeObjective(*poly.Quadratic, int) {}
 
 // Validate checks ‖xᵢ‖₂ ≤ 1 and yᵢ ∈ [−1, 1].
 func (LinearTask) Validate(ds *dataset.Dataset) error {
@@ -114,24 +120,31 @@ func (LogisticTask) Sensitivity(d int) float64 {
 // Objective returns the truncated objective of §5.3:
 // M = ⅛·XᵀX, α = Σᵢ(½−yᵢ)xᵢ, β = n·log 2, from the Taylor values
 // f₁⁽⁰⁾(0)=log 2, f₁⁽¹⁾(0)=½, f₁⁽²⁾(0)=¼.
-func (LogisticTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
-	q := poly.NewQuadratic(ds.D())
-	for i := 0; i < ds.N(); i++ {
-		x := ds.Row(i)
-		y := ds.Label(i)
-		c := 0.5 - y
-		for a, va := range x {
-			if va != 0 {
-				row := q.M.Row(a)
-				for b, vb := range x {
-					row[b] += va * vb / 8
-				}
+func (t LogisticTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
+	a := NewAccumulator(t, ds.D())
+	a.AddBatch(ds, dataset.Shard{Lo: 0, Hi: ds.N()})
+	return a.Quadratic()
+}
+
+// AccumulateRecord implements RecordTask: ⅛xxᵀ on the upper triangle of M,
+// (½−y)·x on α. The constant n·log 2 belongs to FinalizeObjective.
+func (LogisticTask) AccumulateRecord(acc *poly.Quadratic, x []float64, y float64) {
+	c := 0.5 - y
+	for a, va := range x {
+		if va != 0 {
+			row := acc.M.Row(a)
+			for b := a; b < len(x); b++ {
+				row[b] += va * x[b] / 8
 			}
-			q.Alpha[a] += c * va
 		}
+		acc.Alpha[a] += c * va
 	}
-	q.Beta = float64(ds.N()) * math.Ln2
-	return q
+}
+
+// FinalizeObjective implements RecordTask: β = n·log 2, from the order-0
+// Taylor value f₁⁽⁰⁾(0) = log 2 summed over the n records.
+func (LogisticTask) FinalizeObjective(q *poly.Quadratic, n int) {
+	q.Beta += float64(n) * math.Ln2
 }
 
 // Validate checks ‖xᵢ‖₂ ≤ 1 and yᵢ ∈ {0, 1}.

@@ -1,0 +1,40 @@
+package dataset
+
+import "fmt"
+
+// Shard is a half-open record range [Lo, Hi) of a dataset — the unit of work
+// the parallel objective accumulator hands to one worker. Shards carry
+// indices rather than row storage, so creating them is O(k) regardless of
+// dataset size.
+type Shard struct {
+	Lo, Hi int
+}
+
+// Len returns the number of records in the shard.
+func (s Shard) Len() int { return s.Hi - s.Lo }
+
+// Shards partitions [0, n) into at most k contiguous ranges whose sizes
+// differ by at most one, ordered by index. It returns fewer than k shards
+// when n < k (never an empty shard), and nil when n == 0. The split is a
+// pure function of (n, k), which is what makes sharded accumulation
+// deterministic: the same inputs always produce the same shard boundaries,
+// and merging in slice order fixes the floating-point summation tree.
+func Shards(n, k int) []Shard {
+	if n < 0 {
+		panic(fmt.Sprintf("dataset: Shards with negative n=%d", n))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("dataset: Shards with k=%d < 1", k))
+	}
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]Shard, k)
+	for i := 0; i < k; i++ {
+		out[i] = Shard{Lo: i * n / k, Hi: (i + 1) * n / k}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import "testing"
+
+func TestShardsPartitionExactly(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{1, 1}, {1, 8}, {7, 3}, {100, 7}, {2048, 2}, {100000, 16}, {5, 5},
+	}
+	for _, c := range cases {
+		shards := Shards(c.n, c.k)
+		wantLen := c.k
+		if c.n < c.k {
+			wantLen = c.n
+		}
+		if len(shards) != wantLen {
+			t.Errorf("Shards(%d,%d) produced %d shards, want %d", c.n, c.k, len(shards), wantLen)
+			continue
+		}
+		next := 0
+		total := 0
+		minSize, maxSize := c.n, 0
+		for i, s := range shards {
+			if s.Lo != next {
+				t.Errorf("Shards(%d,%d)[%d] starts at %d, want %d (gap or overlap)", c.n, c.k, i, s.Lo, next)
+			}
+			if s.Len() <= 0 {
+				t.Errorf("Shards(%d,%d)[%d] is empty", c.n, c.k, i)
+			}
+			if s.Len() < minSize {
+				minSize = s.Len()
+			}
+			if s.Len() > maxSize {
+				maxSize = s.Len()
+			}
+			next = s.Hi
+			total += s.Len()
+		}
+		if next != c.n || total != c.n {
+			t.Errorf("Shards(%d,%d) covers [0,%d) with %d records, want full range", c.n, c.k, next, total)
+		}
+		if maxSize-minSize > 1 {
+			t.Errorf("Shards(%d,%d) sizes range %d..%d, want balanced within 1", c.n, c.k, minSize, maxSize)
+		}
+	}
+}
+
+func TestShardsDeterministic(t *testing.T) {
+	a, b := Shards(12345, 7), Shards(12345, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs across identical calls: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestShardsEdgeCases(t *testing.T) {
+	if got := Shards(0, 4); got != nil {
+		t.Errorf("Shards(0,4) = %v, want nil", got)
+	}
+	mustPanic(t, func() { Shards(-1, 1) })
+	mustPanic(t, func() { Shards(10, 0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

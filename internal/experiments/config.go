@@ -72,8 +72,16 @@ type Config struct {
 	// Dimensionality is the attribute count (incl. target) for non-d
 	// sweeps; must be one of census.Dimensionalities().
 	Dimensionality int
-	// BaseSeed makes the whole run deterministic.
+	// BaseSeed makes the whole run deterministic at a fixed Parallelism on
+	// a fixed machine. Noise streams depend only on the seed, but the FM
+	// objective's floating-point summation tree depends on the effective
+	// worker count, so last-bit coefficient reproducibility across machines
+	// requires Parallelism = 1.
 	BaseSeed int64
+	// Parallelism bounds the objective-accumulation worker pool of the FM
+	// fits (0 means all cores, 1 the serial sweep); forwarded to
+	// core.Options.Parallelism. Baselines are unaffected.
+	Parallelism int
 	// Plot renders each sweep as an ASCII chart after its table.
 	Plot bool
 	// CSV emits machine-readable rows instead of aligned tables for the
@@ -130,6 +138,17 @@ func (c Config) withDefaults() Config {
 	if c.BaseSeed == 0 {
 		c.BaseSeed = d.BaseSeed
 	}
+	if c.Parallelism != 0 {
+		// Copy before rewriting: Methods may be a caller-owned slice.
+		ms := append([]baseline.Method(nil), c.Methods...)
+		for i, m := range ms {
+			if fm, ok := m.(baseline.FM); ok && fm.Options.Parallelism == 0 {
+				fm.Options.Parallelism = c.Parallelism
+				ms[i] = fm
+			}
+		}
+		c.Methods = ms
+	}
 	return c
 }
 
@@ -148,6 +167,9 @@ func (c Config) validate() error {
 	}
 	if c.Records < 0 {
 		return fmt.Errorf("experiments: negative Records %d", c.Records)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("experiments: negative Parallelism %d", c.Parallelism)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"funcmech/internal/baseline"
 	"funcmech/internal/census"
+	"funcmech/internal/core"
 )
 
 // quickConfig is a fast configuration for integration tests.
@@ -210,5 +211,33 @@ func TestSeedForDistinct(t *testing.T) {
 	}
 	if seedFor(1, "x", 1) != a {
 		t.Fatal("seedFor not deterministic")
+	}
+}
+
+// withDefaults is the single point that threads Config.Parallelism into FM
+// fits — every entry path (EvaluateMethods, the sweeps, runAblation's and
+// runLambda's hand-built method lists) funnels through it.
+func TestWithDefaultsThreadsParallelismIntoFM(t *testing.T) {
+	cfg := Config{
+		Parallelism: 3,
+		Methods: []baseline.Method{
+			baseline.FM{},
+			baseline.FM{Options: core.Options{Parallelism: 5}}, // explicit wins
+			baseline.NoPrivacy{},
+		},
+	}
+	original := cfg.Methods
+	got := cfg.withDefaults()
+	if fm := got.Methods[0].(baseline.FM); fm.Options.Parallelism != 3 {
+		t.Errorf("default FM parallelism = %d, want 3", fm.Options.Parallelism)
+	}
+	if fm := got.Methods[1].(baseline.FM); fm.Options.Parallelism != 5 {
+		t.Errorf("explicit FM parallelism = %d, want 5 (must not be overridden)", fm.Options.Parallelism)
+	}
+	if _, ok := got.Methods[2].(baseline.NoPrivacy); !ok {
+		t.Error("non-FM method rewritten")
+	}
+	if fm := original[0].(baseline.FM); fm.Options.Parallelism != 0 {
+		t.Error("withDefaults mutated the caller's Methods slice")
 	}
 }

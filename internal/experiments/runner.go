@@ -25,6 +25,9 @@ func ExperimentIDs() []string {
 // IDs match the per-experiment index in DESIGN.md.
 func RunExperiment(id string, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
 	switch id {
 	case "params":
 		return runParams(w)
@@ -196,6 +199,8 @@ func runAblation(cfg Config, w io.Writer) error {
 	for _, eps := range EpsilonSweep() {
 		fmt.Fprintf(w, "  %8.2f", eps)
 		for _, mode := range modes {
+			// EvaluateMethods re-applies withDefaults, which threads
+			// cfg.Parallelism into any FM whose Options leave it zero.
 			base := cfg
 			base.Methods = []baseline.Method{baseline.FM{Options: mode.opts}}
 			res, err := EvaluateMethods(base, ds, TaskLinear, eps, fmt.Sprintf("A1/%s/%g", mode.name, eps))

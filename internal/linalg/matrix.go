@@ -185,6 +185,32 @@ func (m *Matrix) AddDiagonal(c float64) *Matrix {
 	return m
 }
 
+// AddScaledMat accumulates c·b into m in place and returns m. Unlike AddMat
+// it allocates nothing, which matters on the mechanism's accumulation hot
+// path where partial objectives are merged per shard.
+func (m *Matrix) AddScaledMat(b *Matrix, c float64) *Matrix {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("linalg: AddScaledMat shape mismatch %d×%d vs %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	AXPY(c, b.data, m.data)
+	return m
+}
+
+// MirrorUpper copies the strict upper triangle onto the lower triangle in
+// place and returns m, so that a matrix accumulated upper-triangle-only
+// becomes symmetric with a single O(d²) pass. m must be square.
+func (m *Matrix) MirrorUpper() *Matrix {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("linalg: MirrorUpper on non-square %d×%d matrix", m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			m.data[j*m.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return m
+}
+
 // Symmetrize overwrites m with (m+mᵀ)/2 in place and returns m.
 // m must be square.
 func (m *Matrix) Symmetrize() *Matrix {

@@ -193,3 +193,60 @@ func TestAllFiniteMat(t *testing.T) {
 		t.Error("NaN not detected")
 	}
 }
+
+func TestAddScaledMatMatchesAddMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomMatrix(rng, 4, 5)
+	b := randomMatrix(rng, 4, 5)
+	want := a.AddMat(b)
+	got := a.Clone()
+	if r := got.AddScaledMat(b, 1); r != got {
+		t.Fatal("AddScaledMat must return its receiver")
+	}
+	if !got.EqualApproxMat(want, 0) {
+		t.Fatal("AddScaledMat(b, 1) disagrees with AddMat")
+	}
+	scaled := a.Clone().AddScaledMat(b, -0.5)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			if want := a.At(i, j) - 0.5*b.At(i, j); scaled.At(i, j) != want {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, scaled.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestAddScaledMatShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	NewMatrix(2, 2).AddScaledMat(NewMatrix(3, 3), 1)
+}
+
+func TestMirrorUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	m := randomMatrix(rng, 5, 5)
+	upper := m.Clone()
+	mirrored := m.Clone().MirrorUpper()
+	if !mirrored.IsSymmetric(0) {
+		t.Fatal("MirrorUpper result not exactly symmetric")
+	}
+	for i := 0; i < 5; i++ {
+		for j := i; j < 5; j++ {
+			if mirrored.At(i, j) != upper.At(i, j) {
+				t.Fatalf("upper entry (%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestMirrorUpperNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-square matrix")
+		}
+	}()
+	NewMatrix(2, 3).MirrorUpper()
+}

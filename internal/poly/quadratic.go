@@ -57,6 +57,25 @@ func (q *Quadratic) AddQuadratic(o *Quadratic) *Quadratic {
 	return q
 }
 
+// Merge accumulates o into q in place without allocating and returns q —
+// the shard-combining primitive of the parallel objective accumulator.
+// Unlike AddQuadratic it never clones the coefficient matrix, so merging k
+// shard partials costs O(k·d²) time and zero garbage.
+func (q *Quadratic) Merge(o *Quadratic) *Quadratic {
+	return q.AddScaled(o, 1)
+}
+
+// AddScaled accumulates c·o into q in place and returns q.
+func (q *Quadratic) AddScaled(o *Quadratic, c float64) *Quadratic {
+	if o.Dim() != q.Dim() {
+		panic(fmt.Sprintf("poly: AddScaled dim mismatch %d vs %d", q.Dim(), o.Dim()))
+	}
+	q.M.AddScaledMat(o.M, c)
+	linalg.AXPY(c, o.Alpha, q.Alpha)
+	q.Beta += c * o.Beta
+	return q
+}
+
 // ToPolynomial converts to the sparse representation. Off-diagonal pairs
 // (j,l) and (l,j) fold into the single monomial ω_jω_l with coefficient
 // M[j][l]+M[l][j], matching the paper's Φ₂ = {ωᵢωⱼ} convention.

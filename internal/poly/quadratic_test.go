@@ -131,3 +131,51 @@ func TestQuadraticCloneIndependent(t *testing.T) {
 		t.Fatal("Clone aliases its receiver")
 	}
 }
+
+func TestQuadraticMergeMatchesAddQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := randomQuadratic(rng, 4), randomQuadratic(rng, 4)
+	want := a.Clone().AddQuadratic(b)
+	got := a.Clone().Merge(b)
+	if !got.M.EqualApproxMat(want.M, 0) || got.Beta != want.Beta {
+		t.Fatal("Merge disagrees with AddQuadratic")
+	}
+	for i := range got.Alpha {
+		if got.Alpha[i] != want.Alpha[i] {
+			t.Fatalf("α[%d] = %v, want %v", i, got.Alpha[i], want.Alpha[i])
+		}
+	}
+}
+
+func TestQuadraticMergeInPlaceNoAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a, b := randomQuadratic(rng, 3), randomQuadratic(rng, 3)
+	bBefore := b.Clone()
+	m := a.Merge(b)
+	if m != a {
+		t.Fatal("Merge must return its receiver")
+	}
+	if !b.M.EqualApproxMat(bBefore.M, 0) || b.Beta != bBefore.Beta {
+		t.Fatal("Merge must not modify its argument")
+	}
+}
+
+func TestQuadraticAddScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := randomQuadratic(rng, 3), randomQuadratic(rng, 3)
+	got := a.Clone().AddScaled(b, -2)
+	w := []float64{0.3, -1.1, 0.7}
+	want := a.Eval(w) - 2*b.Eval(w)
+	if math.Abs(got.Eval(w)-want) > 1e-12 {
+		t.Fatalf("AddScaled eval = %v, want %v", got.Eval(w), want)
+	}
+}
+
+func TestQuadraticMergeDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	NewQuadratic(2).Merge(NewQuadratic(3))
+}

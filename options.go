@@ -47,8 +47,23 @@ func WithLambdaFactor(f float64) Option {
 	return func(c *config) { c.opts.LambdaFactor = f }
 }
 
+// WithParallelism bounds the worker pool that accumulates the objective —
+// the fit's only pass over the records, and its dominant cost for large
+// datasets. n = 0 (the default) uses runtime.GOMAXPROCS(0); n = 1 forces the
+// serial sweep. The knob affects throughput only: noise is drawn after
+// accumulation from the same deterministic stream, so the privacy guarantee
+// and the WithSeed reproducibility contract are unchanged at a fixed n.
+// Coefficients accumulated at different parallelism levels agree to
+// floating-point round-off (the summation tree differs), so models fitted
+// with the same seed but different n can differ in their last bits.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.opts.Parallelism = n }
+}
+
 // WithSeed makes the mechanism's noise deterministic — for reproduction and
-// tests. Without a seed (or WithRand), a random seed is drawn.
+// tests. Without a seed (or WithRand), a random seed is drawn. For models
+// that are bit-identical across machines, combine with WithParallelism(1);
+// otherwise the objective's summation order follows the core count.
 func WithSeed(seed int64) Option {
 	return func(c *config) { c.seed = seed; c.hasSeed = true }
 }
