@@ -1,0 +1,158 @@
+// Command fmserve runs the multi-tenant training service: a long-lived
+// HTTP/JSON server that registers datasets once, tracks a lifetime privacy
+// budget per tenant (every fit debits it atomically; exhaustion yields a
+// typed 402), and serves ε-differentially private linear, ridge and logistic
+// fits with the full public option surface. A process-global governor keeps
+// in-flight fits × per-fit parallelism under a GOMAXPROCS-derived cap, so
+// concurrent tenants cannot oversubscribe the accumulation worker pool.
+//
+// Usage:
+//
+//	fmserve -addr=:8080 -gen income=us:30000:1 -tenant acme=2.0
+//	fmserve -addr=:8080 -max-fits=4 -worker-cap=8
+//
+// Datasets and tenants can also be created at runtime via POST /v1/datasets
+// and POST /v1/tenants. On SIGINT/SIGTERM the server stops accepting
+// requests and drains in-flight fits before exiting (see -drain-timeout).
+//
+// Endpoints: GET /healthz, GET /v1/stats, POST/GET /v1/datasets,
+// POST/GET /v1/tenants, GET /v1/tenants/{name}, POST /v1/fit. See the
+// README's Serving section for the request and response shapes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"funcmech"
+	"funcmech/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxFits      = flag.Int("max-fits", 0, "max fits in flight; excess requests queue (0 = GOMAXPROCS)")
+		workerCap    = flag.Int("worker-cap", 0, "global accumulation-worker capacity shared across fits (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight fits")
+		gens         []string
+		tenants      []string
+	)
+	flag.Func("gen", "register a generated census dataset, name=profile:n[:seed] (repeatable)", func(v string) error {
+		gens = append(gens, v)
+		return nil
+	})
+	flag.Func("tenant", "create a tenant, name=budget (repeatable)", func(v string) error {
+		tenants = append(tenants, v)
+		return nil
+	})
+	flag.Parse()
+
+	srv := serve.New(serve.Config{MaxConcurrentFits: *maxFits, WorkerCap: *workerCap})
+	for _, spec := range gens {
+		name, ds, err := parseGen(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.Registry().Register(name, ds); err != nil {
+			fatal(err)
+		}
+		log.Printf("fmserve: dataset %q registered (%d records × %d features)", name, ds.Len(), ds.NumFeatures())
+	}
+	for _, spec := range tenants {
+		name, budget, err := parseTenant(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := srv.Tenants().Create(name, budget); err != nil {
+			fatal(err)
+		}
+		log.Printf("fmserve: tenant %q created (lifetime ε = %v)", name, budget)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("fmserve: listening on %s (max fits %d, worker cap %d)",
+		ln.Addr(), srv.MaxInFlight(), srv.Governor().Cap())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("fmserve: draining in-flight fits (timeout %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fatal(fmt.Errorf("fmserve: drain failed: %w", err))
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("fmserve: drained, bye")
+}
+
+// parseGen parses name=profile:n[:seed].
+func parseGen(spec string) (string, *funcmech.Dataset, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", nil, fmt.Errorf("fmserve: -gen %q: want name=profile:n[:seed]", spec)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return "", nil, fmt.Errorf("fmserve: -gen %q: want name=profile:n[:seed]", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", nil, fmt.Errorf("fmserve: -gen %q: bad record count: %v", spec, err)
+	}
+	seed := int64(1)
+	if len(parts) == 3 {
+		seed, err = strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("fmserve: -gen %q: bad seed: %v", spec, err)
+		}
+	}
+	ds, err := serve.GenerateCensus(parts[0], n, seed)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, ds, nil
+}
+
+// parseTenant parses name=budget.
+func parseTenant(spec string) (string, float64, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("fmserve: -tenant %q: want name=budget", spec)
+	}
+	budget, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("fmserve: -tenant %q: bad budget: %v", spec, err)
+	}
+	return name, budget, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

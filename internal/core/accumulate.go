@@ -145,11 +145,26 @@ func effectiveParallelism(requested, n int) int {
 // shard boundaries are pure functions of the inputs and partials merge in
 // shard index order.
 func ParallelObjective(task Task, ds *dataset.Dataset, parallelism int) *poly.Quadratic {
+	return GovernedObjective(task, ds, parallelism, nil)
+}
+
+// GovernedObjective is ParallelObjective under a Governor: the resolved
+// worker count is submitted to gov and the pool uses only what is granted,
+// so concurrent runs sharing the governor never oversubscribe its global
+// cap. A nil gov degenerates to ParallelObjective.
+func GovernedObjective(task Task, ds *dataset.Dataset, parallelism int, gov Governor) *poly.Quadratic {
 	rt, ok := task.(RecordTask)
 	if !ok {
 		return task.Objective(ds)
 	}
 	workers := effectiveParallelism(parallelism, ds.N())
+	if gov != nil {
+		granted, release := gov.Acquire(workers)
+		defer release()
+		if granted < workers && granted >= 1 {
+			workers = granted
+		}
+	}
 	if workers == 1 {
 		a := NewAccumulator(rt, ds.D())
 		a.AddBatch(ds, dataset.Shard{Lo: 0, Hi: ds.N()})

@@ -59,7 +59,7 @@ func Run(task Task, ds *dataset.Dataset, eps float64, rng *rand.Rand, opts Optio
 	d := ds.D()
 	delta := task.Sensitivity(d)
 	scale := noise.NewLaplace(delta, eps)
-	exact := ParallelObjective(task, ds, opts.Parallelism)
+	exact := GovernedObjective(task, ds, opts.Parallelism, opts.Governor)
 
 	res := &Result{
 		Delta:        delta,

@@ -38,6 +38,21 @@ func (p PostProcess) String() string {
 	}
 }
 
+// Governor arbitrates objective-accumulation workers across concurrent
+// mechanism runs sharing one process. Before spinning up its worker pool a
+// run asks for the parallelism it wants; the governor returns how many
+// workers it may actually use (≥ 1) plus a release func the run must call
+// when accumulation finishes. Acquire may block until capacity frees up. A
+// Governor must be safe for concurrent use.
+//
+// Under a governor the worker count of a given run depends on what else is
+// in flight, so coefficients are reproducible only to floating-point
+// round-off across identically-seeded runs (the summation tree varies); the
+// privacy calibration is unaffected, exactly as with WithParallelism.
+type Governor interface {
+	Acquire(want int) (granted int, release func())
+}
+
 // Options tunes a mechanism run. The zero value reproduces the paper's
 // configuration.
 type Options struct {
@@ -54,6 +69,11 @@ type Options struct {
 	// changes the floating-point summation tree, never the privacy
 	// calibration: noise is drawn after accumulation, from the same stream.
 	Parallelism int
+	// Governor, when non-nil, arbitrates the resolved worker count against
+	// other runs in flight in the same process (a serving layer's global
+	// parallelism cap). The run requests its effective parallelism and uses
+	// only what the governor grants.
+	Governor Governor
 }
 
 func (o Options) withDefaults() Options {

@@ -95,6 +95,61 @@ func TestBudgetConcurrentSpend(t *testing.T) {
 	}
 }
 
+func TestBudgetConcurrentSpendNeverOversubscribes(t *testing.T) {
+	// The serving-layer invariant: whatever mixture of spends races against
+	// one budget, the sum of the *successful* ones never exceeds the total.
+	// Uneven amounts make torn check-then-add interleavings (the bug a
+	// non-atomic Spend would have) far more likely to surface than a uniform
+	// unit spend, and concurrent readers give the race detector Load/Spend
+	// conflicts to chase.
+	const (
+		total      = 1.0
+		goroutines = 64
+		spends     = 50
+	)
+	b := NewBudget(total)
+	done := make(chan struct{})
+	go func() { // hammer the read path concurrently with spends
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if b.Spent() > b.Total()+1e-9 || b.Remaining() < 0 {
+					panic("budget invariant violated mid-flight")
+				}
+			}
+		}
+	}()
+	granted := make(chan float64, goroutines*spends)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < spends; i++ {
+				eps := 0.001 * float64(1+(g+i)%7)
+				if b.Spend(eps) == nil {
+					granted <- eps
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	close(granted)
+	var sum float64
+	for eps := range granted {
+		sum += eps
+	}
+	if sum > total+1e-9 {
+		t.Fatalf("successful spends sum to %v, exceeding the total budget %v", sum, total)
+	}
+	if got := b.Spent(); math.Abs(got-sum) > 1e-9 {
+		t.Fatalf("Spent = %v, but granted spends sum to %v", got, sum)
+	}
+}
+
 func TestBudgetAccessors(t *testing.T) {
 	b := NewBudget(2)
 	_ = b.Spend(0.5)

@@ -1,0 +1,23 @@
+// Package serve is the multi-tenant training service behind cmd/fmserve: a
+// long-lived HTTP/JSON layer over the public funcmech API.
+//
+// Three concerns shape the package, each mapped onto a primitive the library
+// already provides:
+//
+//   - Datasets are registered once and shared read-only across requests
+//     (Registry). Registration is the only write; after that every fit reads
+//     the same immutable *funcmech.Dataset, so no copy or lock is needed on
+//     the hot path.
+//   - Every tenant owns a lifetime privacy budget enforced by a
+//     *funcmech.Session (Tenants). The session debits atomically before the
+//     fit touches data, so concurrent fits against one tenant can never
+//     jointly overspend ε — the sequential-composition discipline of the
+//     paper, applied per tenant under concurrency.
+//   - Machine capacity is arbitrated by a Governor implementing
+//     funcmech.Governor: in-flight fits × granted per-fit parallelism never
+//     exceeds a GOMAXPROCS-derived cap, so p concurrent fits cannot
+//     oversubscribe the sharded accumulator.
+//
+// Server wires the three into an http.Handler with typed JSON errors;
+// cmd/fmserve adds flags, signal handling and graceful drain.
+package serve

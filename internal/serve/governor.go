@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Governor is the process-global parallelism arbiter: a counting capacity of
+// accumulation workers that concurrent fits draw from, so that
+//
+//	Σ granted workers over fits in flight ≤ cap
+//
+// holds at every instant. It implements funcmech.Governor. Acquire blocks
+// while the capacity is fully consumed (a fit always eventually gets at
+// least one worker — holders release in finite time), then grants as much of
+// the request as currently fits. Partial grants are normal under load: a fit
+// asking for 8 workers next to 3 busy fits on an 8-core cap runs narrower,
+// not queued behind them.
+type Governor struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int
+	inUse int
+}
+
+// NewGovernor returns a governor with the given worker capacity; cap ≤ 0
+// means runtime.GOMAXPROCS(0).
+func NewGovernor(capacity int) *Governor {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	g := &Governor{cap: capacity}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Cap returns the configured worker capacity.
+func (g *Governor) Cap() int { return g.cap }
+
+// InUse returns the workers currently granted.
+func (g *Governor) InUse() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}
+
+// Acquire implements funcmech.Governor: it blocks until at least one worker
+// is free, grants min(want, free) ≥ 1, and returns a release func that must
+// be called exactly once when the accumulation pass finishes. The release
+// func is idempotent.
+func (g *Governor) Acquire(want int) (int, func()) {
+	if want < 1 {
+		want = 1
+	}
+	g.mu.Lock()
+	for g.inUse >= g.cap {
+		g.cond.Wait()
+	}
+	granted := want
+	if free := g.cap - g.inUse; granted > free {
+		granted = free
+	}
+	g.inUse += granted
+	g.mu.Unlock()
+
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.inUse -= granted
+			if g.inUse < 0 {
+				g.mu.Unlock()
+				panic(fmt.Sprintf("serve: governor released below zero (cap %d)", g.cap))
+			}
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		})
+	}
+	return granted, release
+}

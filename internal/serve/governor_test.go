@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGovernorGrantsWithinCap(t *testing.T) {
+	g := NewGovernor(4)
+	n1, rel1 := g.Acquire(3)
+	if n1 != 3 {
+		t.Fatalf("first Acquire(3) granted %d, want 3", n1)
+	}
+	n2, rel2 := g.Acquire(8)
+	if n2 != 1 {
+		t.Fatalf("Acquire(8) with 1 free granted %d, want 1", n2)
+	}
+	if got := g.InUse(); got != 4 {
+		t.Fatalf("InUse = %d, want 4", got)
+	}
+	rel1()
+	rel1() // idempotent
+	if got := g.InUse(); got != 1 {
+		t.Fatalf("InUse after release = %d, want 1", got)
+	}
+	rel2()
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("InUse after all releases = %d, want 0", got)
+	}
+}
+
+func TestGovernorBlocksUntilCapacityFrees(t *testing.T) {
+	g := NewGovernor(2)
+	_, rel := g.Acquire(2)
+	acquired := make(chan int)
+	go func() {
+		n, r := g.Acquire(1)
+		r()
+		acquired <- n
+	}()
+	select {
+	case n := <-acquired:
+		t.Fatalf("Acquire(1) returned %d while capacity was exhausted", n)
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel()
+	select {
+	case n := <-acquired:
+		if n != 1 {
+			t.Fatalf("unblocked Acquire granted %d, want 1", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire(1) stayed blocked after capacity freed")
+	}
+}
+
+// TestGovernorInvariantUnderLoad is the arbiter's core promise: across many
+// goroutines acquiring random amounts, the sum of outstanding grants never
+// exceeds the cap at any instant.
+func TestGovernorInvariantUnderLoad(t *testing.T) {
+	const (
+		capacity   = 4
+		goroutines = 16
+		rounds     = 200
+	)
+	g := NewGovernor(capacity)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < rounds; r++ {
+				n, rel := g.Acquire(1 + rng.Intn(2*capacity))
+				if n < 1 || n > capacity {
+					panic("grant outside [1, cap]")
+				}
+				if used := g.InUse(); used > capacity {
+					panic("governor oversubscribed")
+				}
+				rel()
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after all releases, want 0", got)
+	}
+}
+
+func TestGovernorDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := NewGovernor(0).Cap(); got < 1 {
+		t.Fatalf("Cap = %d, want ≥ 1", got)
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"funcmech"
+	"funcmech/internal/census"
+	"funcmech/internal/dataset"
+)
+
+// Registry holds the datasets the service can fit against, keyed by name.
+// Registration happens once (at startup or via POST /v1/datasets); after
+// that the *funcmech.Dataset is shared read-only across every request, so
+// lookups take only a brief RLock and fits touch no registry state at all.
+type Registry struct {
+	mu   sync.RWMutex
+	sets map[string]*funcmech.Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sets: make(map[string]*funcmech.Dataset)}
+}
+
+// Register adds ds under name. Names are immutable once taken: re-registering
+// is an error, because fits in flight hold references to the original.
+func (r *Registry) Register(name string, ds *funcmech.Dataset) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty dataset name")
+	}
+	if ds == nil || ds.Len() == 0 {
+		return fmt.Errorf("serve: dataset %q is empty", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sets[name]; ok {
+		return fmt.Errorf("serve: dataset %q already registered", name)
+	}
+	r.sets[name] = ds
+	return nil
+}
+
+// Lookup returns the dataset registered under name, or false.
+func (r *Registry) Lookup(name string) (*funcmech.Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.sets[name]
+	return ds, ok
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sets))
+	for name := range r.sets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GenerateCensus builds a synthetic census dataset (the repository's stand-in
+// for the paper's IPUMS extracts) as a public *funcmech.Dataset. profile is
+// "us" or "brazil"; n ≤ 0 means the profile's full cardinality.
+func GenerateCensus(profile string, n int, seed int64) (*funcmech.Dataset, error) {
+	var p census.Profile
+	switch profile {
+	case "us":
+		p = census.US()
+	case "brazil":
+		p = census.Brazil()
+	default:
+		return nil, fmt.Errorf("serve: unknown census profile %q (want us or brazil)", profile)
+	}
+	if n <= 0 || n > p.Records {
+		n = p.Records
+	}
+	return fromInternal(census.GenerateN(p, n, seed)), nil
+}
+
+// fromInternal copies an internal dataset into the public wrapper the
+// funcmech entry points accept.
+func fromInternal(inner *dataset.Dataset) *funcmech.Dataset {
+	s := funcmech.Schema{
+		Target: funcmech.Attribute{
+			Name: inner.Schema.Target.Name,
+			Min:  inner.Schema.Target.Min,
+			Max:  inner.Schema.Target.Max,
+		},
+	}
+	for _, a := range inner.Schema.Features {
+		s.Features = append(s.Features, funcmech.Attribute{Name: a.Name, Min: a.Min, Max: a.Max})
+	}
+	out := funcmech.NewDataset(s)
+	for i := 0; i < inner.N(); i++ {
+		out.Append(inner.Row(i), inner.Label(i))
+	}
+	return out
+}

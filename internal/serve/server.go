@@ -1,0 +1,501 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"funcmech"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// MaxConcurrentFits bounds fits in flight; excess requests queue until a
+	// slot frees or their context is cancelled. 0 means GOMAXPROCS(0).
+	MaxConcurrentFits int
+	// WorkerCap is the global accumulation-worker capacity shared by all
+	// in-flight fits (the Governor's cap). 0 means GOMAXPROCS(0).
+	WorkerCap int
+}
+
+// Server is the multi-tenant training service: an http.Handler over a
+// dataset registry, a tenant directory and a parallelism governor. Construct
+// with New, preload via Registry/Tenants, mount Handler.
+type Server struct {
+	registry *Registry
+	tenants  *Tenants
+	governor *Governor
+	stats    *Stats
+	sem      chan struct{} // counting semaphore over fits in flight
+	start    time.Time
+	mux      *http.ServeMux
+}
+
+// New returns a Server with empty registry and tenant directory.
+func New(cfg Config) *Server {
+	maxFits := cfg.MaxConcurrentFits
+	if maxFits <= 0 {
+		maxFits = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		registry: NewRegistry(),
+		tenants:  NewTenants(),
+		governor: NewGovernor(cfg.WorkerCap),
+		stats:    NewStats(),
+		sem:      make(chan struct{}, maxFits),
+		start:    time.Now(),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/tenants", s.handleCreateTenant)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
+	s.mux.HandleFunc("GET /v1/tenants/{name}", s.handleGetTenant)
+	s.mux.HandleFunc("POST /v1/fit", s.handleFit)
+	return s
+}
+
+// Registry returns the dataset registry, for startup preloading.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Tenants returns the tenant directory, for startup preloading.
+func (s *Server) Tenants() *Tenants { return s.tenants }
+
+// Governor returns the parallelism arbiter.
+func (s *Server) Governor() *Governor { return s.governor }
+
+// MaxInFlight returns the fit-admission bound.
+func (s *Server) MaxInFlight() int { return cap(s.sem) }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// apiError is the typed error envelope every non-2xx response carries.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
+// Error codes; the HTTP status is advisory, the code is the contract.
+const (
+	codeInvalidRequest  = "invalid_request"
+	codeNotFound        = "not_found"
+	codeConflict        = "conflict"
+	codeBudgetExhausted = "budget_exhausted"
+	codeFitFailed       = "fit_failed"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers already sent; nothing useful left to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// GET /healthz
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// POST /v1/datasets
+
+type attributeJSON struct {
+	Name string  `json:"name"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+type schemaJSON struct {
+	Features []attributeJSON `json:"features"`
+	Target   attributeJSON   `json:"target"`
+}
+
+type generateJSON struct {
+	Profile string `json:"profile"`
+	N       int    `json:"n"`
+	Seed    int64  `json:"seed"`
+}
+
+type datasetRequest struct {
+	Name string `json:"name"`
+	// Generate builds a synthetic census dataset server-side.
+	Generate *generateJSON `json:"generate,omitempty"`
+	// Schema+Rows register inline data: each row is the feature vector in
+	// schema order with the target appended as the last element.
+	Schema *schemaJSON `json:"schema,omitempty"`
+	Rows   [][]float64 `json:"rows,omitempty"`
+}
+
+type datasetInfo struct {
+	Name     string `json:"name"`
+	Records  int    `json:"records"`
+	Features int    `json:"features"`
+}
+
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	var req datasetRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var (
+		ds  *funcmech.Dataset
+		err error
+	)
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset registration requires a name")
+		return
+	}
+	switch {
+	case req.Generate != nil && (req.Schema != nil || len(req.Rows) > 0):
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: generate and schema/rows are mutually exclusive", req.Name)
+		return
+	case req.Generate != nil:
+		ds, err = GenerateCensus(req.Generate.Profile, req.Generate.N, req.Generate.Seed)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+			return
+		}
+	case req.Schema != nil:
+		ds, err = datasetFromRows(*req.Schema, req.Rows)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: %v", req.Name, err)
+			return
+		}
+		if ds.Len() == 0 {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: no rows supplied", req.Name)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: supply either generate or schema+rows", req.Name)
+		return
+	}
+	if err := s.registry.Register(req.Name, ds); err != nil {
+		writeError(w, http.StatusConflict, codeConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, datasetInfo{Name: req.Name, Records: ds.Len(), Features: ds.NumFeatures()})
+}
+
+func datasetFromRows(sj schemaJSON, rows [][]float64) (*funcmech.Dataset, error) {
+	schema := funcmech.Schema{
+		Target: funcmech.Attribute{Name: sj.Target.Name, Min: sj.Target.Min, Max: sj.Target.Max},
+	}
+	for _, a := range sj.Features {
+		schema.Features = append(schema.Features, funcmech.Attribute{Name: a.Name, Min: a.Min, Max: a.Max})
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	ds := funcmech.NewDataset(schema)
+	want := len(schema.Features) + 1
+	for i, row := range rows {
+		if len(row) != want {
+			return nil, fmt.Errorf("row %d has %d values, want %d features + target", i, len(row), want)
+		}
+		ds.Append(row[:want-1], row[want-1])
+	}
+	return ds, nil
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	infos := []datasetInfo{}
+	for _, name := range s.registry.Names() {
+		ds, _ := s.registry.Lookup(name)
+		infos = append(infos, datasetInfo{Name: name, Records: ds.Len(), Features: ds.NumFeatures()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+// POST /v1/tenants, GET /v1/tenants[/{name}]
+
+type tenantRequest struct {
+	Name   string  `json:"name"`
+	Budget float64 `json:"budget"`
+}
+
+type tenantInfo struct {
+	Name             string  `json:"name"`
+	EpsilonTotal     float64 `json:"epsilon_total"`
+	EpsilonSpent     float64 `json:"epsilon_spent"`
+	EpsilonRemaining float64 `json:"epsilon_remaining"`
+	Fits             int64   `json:"fits"`
+	BudgetRefusals   int64   `json:"budget_refusals"`
+}
+
+func infoFor(t *Tenant) tenantInfo {
+	return tenantInfo{
+		Name:             t.Name,
+		EpsilonTotal:     t.Session.Total(),
+		EpsilonSpent:     t.Session.Spent(),
+		EpsilonRemaining: t.Session.Remaining(),
+		Fits:             t.Fits(),
+		BudgetRefusals:   t.Exhausted(),
+	}
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var req tenantRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	t, err := s.tenants.Create(req.Name, req.Budget)
+	if err != nil {
+		status, code := http.StatusBadRequest, codeInvalidRequest
+		if _, exists := s.tenants.Lookup(req.Name); exists {
+			status, code = http.StatusConflict, codeConflict
+		}
+		writeError(w, status, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoFor(t))
+}
+
+func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenants.Lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown tenant %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, infoFor(t))
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
+	infos := []tenantInfo{}
+	for _, t := range s.tenants.All() {
+		infos = append(infos, infoFor(t))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": infos})
+}
+
+// GET /v1/stats
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	p50, p99 := s.stats.Percentiles()
+	tenants := []tenantInfo{}
+	for _, t := range s.tenants.All() {
+		tenants = append(tenants, infoFor(t))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fits_total":        s.stats.Fits(),
+		"fits_failed":       s.stats.Failed(),
+		"fits_in_flight":    len(s.sem),
+		"worker_cap":        s.governor.Cap(),
+		"workers_in_use":    s.governor.InUse(),
+		"fit_latency_ms":    map[string]float64{"p50": ms(p50), "p99": ms(p99)},
+		"tenants":           tenants,
+		"datasets":          s.registry.Names(),
+		"uptime_seconds":    time.Since(s.start).Seconds(),
+		"max_fits_inflight": cap(s.sem),
+	})
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// POST /v1/fit
+
+type fitOptions struct {
+	// PostProcess is one of "regularize+trim" (default), "regularize",
+	// "resample" (costs 2ε), "none".
+	PostProcess       string   `json:"post_process,omitempty"`
+	LambdaFactor      float64  `json:"lambda_factor,omitempty"`
+	RidgeWeight       float64  `json:"ridge_weight,omitempty"`
+	Intercept         bool     `json:"intercept,omitempty"`
+	BinarizeThreshold *float64 `json:"binarize_threshold,omitempty"`
+	Parallelism       int      `json:"parallelism,omitempty"`
+	Seed              *int64   `json:"seed,omitempty"`
+}
+
+type fitRequest struct {
+	Tenant  string     `json:"tenant"`
+	Dataset string     `json:"dataset"`
+	Model   string     `json:"model"` // linear | ridge | logistic
+	Epsilon float64    `json:"epsilon"`
+	Options fitOptions `json:"options"`
+}
+
+type reportJSON struct {
+	EpsilonSpent float64 `json:"epsilon_spent"`
+	Delta        float64 `json:"delta"`
+	NoiseScale   float64 `json:"noise_scale"`
+	Lambda       float64 `json:"lambda"`
+	Trimmed      int     `json:"trimmed"`
+	Resamples    int     `json:"resamples"`
+}
+
+type fitResponse struct {
+	Tenant           string     `json:"tenant"`
+	Dataset          string     `json:"dataset"`
+	Model            string     `json:"model"`
+	Weights          []float64  `json:"weights"`
+	Report           reportJSON `json:"report"`
+	EpsilonRemaining float64    `json:"epsilon_remaining"`
+	ElapsedMS        float64    `json:"elapsed_ms"`
+}
+
+func (o fitOptions) build(model string, gov *Governor) ([]funcmech.Option, error) {
+	opts := []funcmech.Option{funcmech.WithGovernor(gov)}
+	switch o.PostProcess {
+	case "", "regularize+trim":
+	case "regularize":
+		opts = append(opts, funcmech.WithPostProcess(funcmech.RegularizeOnly))
+	case "resample":
+		opts = append(opts, funcmech.WithPostProcess(funcmech.Resample))
+	case "none":
+		opts = append(opts, funcmech.WithPostProcess(funcmech.NoPostProcess))
+	default:
+		return nil, fmt.Errorf("unknown post_process %q", o.PostProcess)
+	}
+	if o.LambdaFactor != 0 {
+		opts = append(opts, funcmech.WithLambdaFactor(o.LambdaFactor))
+	}
+	if o.Intercept {
+		opts = append(opts, funcmech.WithIntercept())
+	}
+	if o.Parallelism != 0 {
+		opts = append(opts, funcmech.WithParallelism(o.Parallelism))
+	}
+	if o.Seed != nil {
+		opts = append(opts, funcmech.WithSeed(*o.Seed))
+	}
+	switch model {
+	case "linear":
+		if o.RidgeWeight != 0 {
+			return nil, fmt.Errorf("ridge_weight requires model \"ridge\"")
+		}
+		if o.BinarizeThreshold != nil {
+			return nil, fmt.Errorf("binarize_threshold applies only to model \"logistic\"")
+		}
+	case "ridge":
+		if o.RidgeWeight <= 0 {
+			return nil, fmt.Errorf("model \"ridge\" requires positive ridge_weight, got %v", o.RidgeWeight)
+		}
+		if o.BinarizeThreshold != nil {
+			return nil, fmt.Errorf("binarize_threshold applies only to model \"logistic\"")
+		}
+		opts = append(opts, funcmech.WithRidge(o.RidgeWeight))
+	case "logistic":
+		if o.RidgeWeight != 0 {
+			return nil, fmt.Errorf("ridge_weight applies only to model \"ridge\"")
+		}
+		if o.BinarizeThreshold != nil {
+			opts = append(opts, funcmech.WithBinarizeThreshold(*o.BinarizeThreshold))
+		}
+	default:
+		return nil, fmt.Errorf("unknown model %q (want linear, ridge or logistic)", model)
+	}
+	return opts, nil
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req fitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	tenant, ok := s.tenants.Lookup(req.Tenant)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown tenant %q", req.Tenant)
+		return
+	}
+	ds, ok := s.registry.Lookup(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	opts, err := req.Options.build(req.Model, s.governor)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		return
+	}
+	if req.Epsilon <= 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "non-positive epsilon %v", req.Epsilon)
+		return
+	}
+
+	// Admission: at most cap(s.sem) fits in flight; the rest queue here
+	// until a slot frees or the client gives up.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, codeFitFailed, "cancelled while queued for a fit slot")
+		return
+	}
+
+	start := time.Now()
+	var (
+		weights []float64
+		report  *funcmech.Report
+	)
+	switch req.Model {
+	case "linear", "ridge":
+		var m *funcmech.LinearModel
+		m, report, err = tenant.Session.LinearRegression(ds, req.Epsilon, opts...)
+		if err == nil {
+			weights = m.Weights()
+		}
+	case "logistic":
+		var m *funcmech.LogisticModel
+		m, report, err = tenant.Session.LogisticRegression(ds, req.Epsilon, opts...)
+		if err == nil {
+			weights = m.Weights()
+		}
+	}
+	elapsed := time.Since(start)
+	s.stats.RecordFit(elapsed, err == nil)
+
+	if err != nil {
+		if errors.Is(err, funcmech.ErrBudgetExhausted) {
+			tenant.exhausted.Add(1)
+			writeError(w, http.StatusPaymentRequired, codeBudgetExhausted,
+				"tenant %q: %v", req.Tenant, err)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
+		return
+	}
+	tenant.fits.Add(1)
+	writeJSON(w, http.StatusOK, fitResponse{
+		Tenant:  req.Tenant,
+		Dataset: req.Dataset,
+		Model:   req.Model,
+		Weights: weights,
+		Report: reportJSON{
+			EpsilonSpent: report.Epsilon,
+			Delta:        report.Delta,
+			NoiseScale:   report.NoiseScale,
+			Lambda:       report.Lambda,
+			Trimmed:      report.Trimmed,
+			Resamples:    report.Resamples,
+		},
+		EpsilonRemaining: tenant.Session.Remaining(),
+		ElapsedMS:        ms(elapsed),
+	})
+}

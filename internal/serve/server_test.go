@@ -1,0 +1,454 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// newTestServer returns an httptest server over a fresh Server plus the
+// Server itself for state inspection.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// registerRowsDataset registers a small synthetic linear dataset under name.
+func registerRowsDataset(t *testing.T, base, name string, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	rows := make([][]float64, n)
+	for i := range rows {
+		x1 := rng.Float64() * 10
+		x2 := rng.Float64() * 5
+		y := 3*x1 + 2*x2 + rng.NormFloat64()
+		if y < 0 {
+			y = 0
+		}
+		if y > 50 {
+			y = 50
+		}
+		rows[i] = []float64{x1, x2, y}
+	}
+	req := datasetRequest{
+		Name: name,
+		Schema: &schemaJSON{
+			Features: []attributeJSON{
+				{Name: "x1", Min: 0, Max: 10},
+				{Name: "x2", Min: 0, Max: 5},
+			},
+			Target: attributeJSON{Name: "y", Min: 0, Max: 50},
+		},
+		Rows: rows,
+	}
+	resp := postJSON(t, base+"/v1/datasets", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("dataset registration: status %d", resp.StatusCode)
+	}
+}
+
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func createTenant(t *testing.T, base, name string, budget float64) {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/tenants", tenantRequest{Name: name, Budget: budget})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("tenant creation: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode[map[string]any](t, resp)
+	if got["status"] != "ok" {
+		t.Fatalf("healthz = %v", got)
+	}
+}
+
+func TestFitLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerRowsDataset(t, ts.URL, "toy", 200)
+	createTenant(t, ts.URL, "acme", 2.0)
+
+	resp := postJSON(t, ts.URL+"/v1/fit", fitRequest{
+		Tenant: "acme", Dataset: "toy", Model: "linear", Epsilon: 0.5,
+		Options: fitOptions{Intercept: true, Seed: ptr(int64(7))},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fit: status %d", resp.StatusCode)
+	}
+	fit := decode[fitResponse](t, resp)
+	if len(fit.Weights) != 3 { // 2 features + intercept
+		t.Fatalf("weights = %v, want 3 entries", fit.Weights)
+	}
+	if fit.Report.EpsilonSpent != 0.5 {
+		t.Fatalf("epsilon_spent = %v, want 0.5", fit.Report.EpsilonSpent)
+	}
+	if fit.EpsilonRemaining != 1.5 {
+		t.Fatalf("epsilon_remaining = %v, want 1.5", fit.EpsilonRemaining)
+	}
+
+	// The tenant endpoint reflects the debit.
+	resp2, err := http.Get(ts.URL + "/v1/tenants/acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decode[tenantInfo](t, resp2)
+	if info.EpsilonSpent != 0.5 || info.Fits != 1 {
+		t.Fatalf("tenant info = %+v", info)
+	}
+
+	// Resample costs 2ε on the session.
+	resp3 := postJSON(t, ts.URL+"/v1/fit", fitRequest{
+		Tenant: "acme", Dataset: "toy", Model: "linear", Epsilon: 0.25,
+		Options: fitOptions{PostProcess: "resample", Seed: ptr(int64(8))},
+	})
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("resample fit: status %d", resp3.StatusCode)
+	}
+	fit3 := decode[fitResponse](t, resp3)
+	if fit3.Report.EpsilonSpent != 0.5 {
+		t.Fatalf("resample epsilon_spent = %v, want 0.5", fit3.Report.EpsilonSpent)
+	}
+	if fit3.EpsilonRemaining != 1.0 {
+		t.Fatalf("epsilon_remaining = %v, want 1.0", fit3.EpsilonRemaining)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func TestFitModels(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerRowsDataset(t, ts.URL, "toy", 200)
+	createTenant(t, ts.URL, "acme", 10)
+
+	cases := []fitRequest{
+		{Tenant: "acme", Dataset: "toy", Model: "ridge", Epsilon: 0.5,
+			Options: fitOptions{RidgeWeight: 0.1, Seed: ptr(int64(1))}},
+		{Tenant: "acme", Dataset: "toy", Model: "logistic", Epsilon: 0.5,
+			Options: fitOptions{BinarizeThreshold: ptr(25.0), Seed: ptr(int64(2))}},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/fit", c)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s fit: status %d", c.Model, resp.StatusCode)
+		}
+		fit := decode[fitResponse](t, resp)
+		if len(fit.Weights) != 2 {
+			t.Fatalf("%s weights = %v", c.Model, fit.Weights)
+		}
+	}
+}
+
+// TestConcurrentFitsNeverOverspend is the acceptance scenario: many
+// goroutines racing fits against one tenant; the budget admits exactly
+// three, every loser gets the typed 402, and the cumulative spend never
+// exceeds the configured total.
+func TestConcurrentFitsNeverOverspend(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentFits: 8})
+	registerRowsDataset(t, ts.URL, "toy", 300)
+	createTenant(t, ts.URL, "acme", 3.0)
+
+	const goroutines = 8
+	codes := make([]int, goroutines)
+	bodies := make([]errorResponse, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/fit", fitRequest{
+				Tenant: "acme", Dataset: "toy", Model: "linear", Epsilon: 1.0,
+				Options: fitOptions{Seed: ptr(int64(g))},
+			})
+			codes[g] = resp.StatusCode
+			if resp.StatusCode != http.StatusOK {
+				bodies[g] = decode[errorResponse](t, resp)
+			} else {
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ok, refused := 0, 0
+	for g, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusPaymentRequired:
+			refused++
+			if bodies[g].Error.Code != codeBudgetExhausted {
+				t.Fatalf("refusal %d carried code %q, want %q", g, bodies[g].Error.Code, codeBudgetExhausted)
+			}
+		default:
+			t.Fatalf("fit %d: unexpected status %d", g, code)
+		}
+	}
+	if ok != 3 || refused != goroutines-3 {
+		t.Fatalf("got %d successes and %d refusals, want 3 and %d", ok, refused, goroutines-3)
+	}
+	tenant, _ := s.Tenants().Lookup("acme")
+	if spent := tenant.Session.Spent(); spent > tenant.Session.Total()+1e-9 {
+		t.Fatalf("tenant spent %v, exceeding budget %v", spent, tenant.Session.Total())
+	}
+	if got := tenant.Exhausted(); got != int64(goroutines-3) {
+		t.Fatalf("tenant exhausted counter = %d, want %d", got, goroutines-3)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerRowsDataset(t, ts.URL, "toy", 50)
+	createTenant(t, ts.URL, "acme", 1)
+
+	cases := []struct {
+		name   string
+		req    fitRequest
+		status int
+		code   string
+	}{
+		{"unknown tenant", fitRequest{Tenant: "ghost", Dataset: "toy", Model: "linear", Epsilon: 0.1},
+			http.StatusNotFound, codeNotFound},
+		{"unknown dataset", fitRequest{Tenant: "acme", Dataset: "ghost", Model: "linear", Epsilon: 0.1},
+			http.StatusNotFound, codeNotFound},
+		{"unknown model", fitRequest{Tenant: "acme", Dataset: "toy", Model: "quantile", Epsilon: 0.1},
+			http.StatusBadRequest, codeInvalidRequest},
+		{"bad epsilon", fitRequest{Tenant: "acme", Dataset: "toy", Model: "linear", Epsilon: 0},
+			http.StatusBadRequest, codeInvalidRequest},
+		{"ridge without weight", fitRequest{Tenant: "acme", Dataset: "toy", Model: "ridge", Epsilon: 0.1},
+			http.StatusBadRequest, codeInvalidRequest},
+		{"threshold on linear", fitRequest{Tenant: "acme", Dataset: "toy", Model: "linear", Epsilon: 0.1,
+			Options: fitOptions{BinarizeThreshold: ptr(1.0)}},
+			http.StatusBadRequest, codeInvalidRequest},
+		{"bad post_process", fitRequest{Tenant: "acme", Dataset: "toy", Model: "linear", Epsilon: 0.1,
+			Options: fitOptions{PostProcess: "prayer"}},
+			http.StatusBadRequest, codeInvalidRequest},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/fit", c.req)
+		if resp.StatusCode != c.status {
+			t.Fatalf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+		body := decode[errorResponse](t, resp)
+		if body.Error.Code != c.code {
+			t.Fatalf("%s: code %q, want %q", c.name, body.Error.Code, c.code)
+		}
+	}
+	// None of the rejected requests may have consumed budget: every one
+	// failed validation before the session debit.
+	resp, err := http.Get(ts.URL + "/v1/tenants/acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := decode[tenantInfo](t, resp); info.EpsilonSpent != 0 {
+		t.Fatalf("validation failures consumed ε: spent = %v", info.EpsilonSpent)
+	}
+}
+
+func TestRegistryConflictsAndGeneration(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerRowsDataset(t, ts.URL, "toy", 50)
+
+	// Duplicate name → 409.
+	resp := postJSON(t, ts.URL+"/v1/datasets", datasetRequest{
+		Name: "toy",
+		Schema: &schemaJSON{
+			Features: []attributeJSON{{Name: "x", Min: 0, Max: 1}},
+			Target:   attributeJSON{Name: "y", Min: 0, Max: 1},
+		},
+		Rows: [][]float64{{0.5, 1}},
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate dataset: status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Generate combined with inline rows would silently discard the rows;
+	// it must be rejected outright.
+	resp = postJSON(t, ts.URL+"/v1/datasets", datasetRequest{
+		Name:     "mixed",
+		Generate: &generateJSON{Profile: "us", N: 10},
+		Rows:     [][]float64{{1, 2}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("generate+rows: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// A schema with no rows is a validation error, not a conflict.
+	resp = postJSON(t, ts.URL+"/v1/datasets", datasetRequest{
+		Name: "hollow",
+		Schema: &schemaJSON{
+			Features: []attributeJSON{{Name: "x", Min: 0, Max: 1}},
+			Target:   attributeJSON{Name: "y", Min: 0, Max: 1},
+		},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty rows: status %d, want 400", resp.StatusCode)
+	}
+	if body := decode[errorResponse](t, resp); body.Error.Code != codeInvalidRequest {
+		t.Fatalf("empty rows: code %q, want %q", body.Error.Code, codeInvalidRequest)
+	}
+
+	// Server-side census generation.
+	resp = postJSON(t, ts.URL+"/v1/datasets", datasetRequest{
+		Name:     "census",
+		Generate: &generateJSON{Profile: "us", N: 500, Seed: 3},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("census generation: status %d", resp.StatusCode)
+	}
+	info := decode[datasetInfo](t, resp)
+	if info.Records != 500 || info.Features != 13 {
+		t.Fatalf("census dataset = %+v, want 500 records × 13 features", info)
+	}
+
+	// Duplicate tenant → 409.
+	createTenant(t, ts.URL, "acme", 1)
+	resp = postJSON(t, ts.URL+"/v1/tenants", tenantRequest{Name: "acme", Budget: 2})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate tenant: status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrentFits: 2})
+	registerRowsDataset(t, ts.URL, "toy", 100)
+	createTenant(t, ts.URL, "acme", 1.0)
+
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/fit", fitRequest{
+			Tenant: "acme", Dataset: "toy", Model: "linear", Epsilon: 0.4,
+			Options: fitOptions{Seed: ptr(int64(i))},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fit %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// One refusal for the books.
+	resp := postJSON(t, ts.URL+"/v1/fit", fitRequest{
+		Tenant: "acme", Dataset: "toy", Model: "linear", Epsilon: 0.4,
+	})
+	if resp.StatusCode != http.StatusPaymentRequired {
+		t.Fatalf("exhausting fit: status %d, want 402", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[map[string]any](t, statsResp)
+	if got := stats["fits_total"].(float64); got != 2 {
+		t.Fatalf("fits_total = %v, want 2", got)
+	}
+	if got := stats["fits_failed"].(float64); got != 1 {
+		t.Fatalf("fits_failed = %v, want 1", got)
+	}
+	lat := stats["fit_latency_ms"].(map[string]any)
+	if lat["p50"].(float64) < 0 || lat["p99"].(float64) < lat["p50"].(float64) {
+		t.Fatalf("latency quantiles out of order: %v", lat)
+	}
+	tenants := stats["tenants"].([]any)
+	if len(tenants) != 1 {
+		t.Fatalf("stats tenants = %v", tenants)
+	}
+	if spent := tenants[0].(map[string]any)["epsilon_spent"].(float64); spent != 0.8 {
+		t.Fatalf("stats epsilon_spent = %v, want 0.8", spent)
+	}
+}
+
+// TestGovernedFitsStayUnderWorkerCap drives concurrent fits on a dataset
+// large enough to trigger the parallel accumulator and watches the governor
+// gauge: it must never exceed the configured cap.
+func TestGovernedFitsStayUnderWorkerCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-record fit load in -short mode")
+	}
+	s, ts := newTestServer(t, Config{MaxConcurrentFits: 4, WorkerCap: 2})
+	registerRowsDataset(t, ts.URL, "big", 3*2048)
+	createTenant(t, ts.URL, "acme", 100)
+
+	stop := make(chan struct{})
+	var peak int
+	var peakMu sync.Mutex
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				used := s.Governor().InUse()
+				peakMu.Lock()
+				if used > peak {
+					peak = used
+				}
+				peakMu.Unlock()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/fit", fitRequest{
+				Tenant: "acme", Dataset: "big", Model: "linear", Epsilon: 0.5,
+				Options: fitOptions{Parallelism: 3, Seed: ptr(int64(g))},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("fit %d: status %d", g, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+
+	peakMu.Lock()
+	defer peakMu.Unlock()
+	if peak > 2 {
+		t.Fatalf("governor peak usage %d exceeded the cap 2", peak)
+	}
+	if s.Governor().InUse() != 0 {
+		t.Fatalf("workers still held after drain: %d", s.Governor().InUse())
+	}
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent fit durations the quantile estimate sees.
+// A ring keeps the cost O(1) per fit and bounds memory for a long-lived
+// process; quantiles over the window track current behaviour rather than
+// all-time history, which is what an operator watching p99 wants.
+const latencyWindow = 1024
+
+// Stats aggregates service-level counters: fits served/refused and a sliding
+// window of fit latencies for quantile estimates. Safe for concurrent use.
+type Stats struct {
+	mu        sync.Mutex
+	fits      int64
+	failed    int64
+	durations [latencyWindow]time.Duration
+	count     int // total observations ever (ring index derives from it)
+}
+
+// NewStats returns zeroed counters.
+func NewStats() *Stats { return &Stats{} }
+
+// RecordFit observes one completed fit attempt. Only successful fits enter
+// the latency window: refusals (e.g. budget exhaustion) return in
+// microseconds before touching data, and letting them in would dilute the
+// quantiles toward zero exactly when an operator most needs honest numbers.
+func (s *Stats) RecordFit(d time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !ok {
+		s.failed++
+		return
+	}
+	s.fits++
+	s.durations[s.count%latencyWindow] = d
+	s.count++
+}
+
+// Fits returns the successful-fit count.
+func (s *Stats) Fits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fits
+}
+
+// Failed returns the failed-fit count (budget refusals included).
+func (s *Stats) Failed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// Percentiles returns the p50 and p99 fit latency over the sliding window,
+// or zeros when nothing has been observed.
+func (s *Stats) Percentiles() (p50, p99 time.Duration) {
+	s.mu.Lock()
+	n := s.count
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, s.durations[:n])
+	s.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return window[quantileIndex(n, 0.50)], window[quantileIndex(n, 0.99)]
+}
+
+// quantileIndex maps quantile q onto a sorted slice of length n using the
+// nearest-rank convention (⌈q·n⌉, 1-based).
+func quantileIndex(n int, q float64) int {
+	i := int(q*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStatsCountsAndQuantiles(t *testing.T) {
+	s := NewStats()
+	if p50, p99 := s.Percentiles(); p50 != 0 || p99 != 0 {
+		t.Fatalf("empty stats quantiles = %v, %v", p50, p99)
+	}
+	for i := 1; i <= 100; i++ {
+		s.RecordFit(time.Duration(i)*time.Millisecond, true)
+	}
+	for i := 0; i < 10; i++ {
+		// Failures must count, but stay out of the latency window: a flood
+		// of instant refusals may not drag the quantiles toward zero.
+		s.RecordFit(0, false)
+	}
+	if got := s.Fits(); got != 100 {
+		t.Fatalf("Fits = %d, want 100", got)
+	}
+	if got := s.Failed(); got != 10 {
+		t.Fatalf("Failed = %d, want 10", got)
+	}
+	p50, p99 := s.Percentiles()
+	if p50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", p50)
+	}
+	if p99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", p99)
+	}
+}
+
+func TestStatsWindowSlides(t *testing.T) {
+	s := NewStats()
+	// Fill the window with 1ms, then overwrite it entirely with 100ms: the
+	// quantiles must reflect only the recent window.
+	for i := 0; i < latencyWindow; i++ {
+		s.RecordFit(time.Millisecond, true)
+	}
+	for i := 0; i < latencyWindow; i++ {
+		s.RecordFit(100*time.Millisecond, true)
+	}
+	p50, p99 := s.Percentiles()
+	if p50 != 100*time.Millisecond || p99 != 100*time.Millisecond {
+		t.Fatalf("sliding window quantiles = %v, %v, want 100ms both", p50, p99)
+	}
+}
+
+func TestStatsConcurrentRecording(t *testing.T) {
+	s := NewStats()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.RecordFit(time.Millisecond, true)
+				s.Percentiles()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Fits(); got != 4000 {
+		t.Fatalf("Fits = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"funcmech"
+)
+
+// Tenant is one customer of the service: a name, the *funcmech.Session
+// holding its lifetime privacy budget, and fit counters. The session is the
+// entire enforcement mechanism — every fit debits it atomically before
+// touching data, so a tenant's cumulative ε-spend can never exceed its
+// configured budget no matter how many requests race.
+type Tenant struct {
+	Name    string
+	Session *funcmech.Session
+
+	fits      atomic.Int64 // successful fits served
+	exhausted atomic.Int64 // fits refused for budget exhaustion
+}
+
+// Fits returns the number of successful fits served for the tenant.
+func (t *Tenant) Fits() int64 { return t.fits.Load() }
+
+// Exhausted returns the number of fits refused with ErrBudgetExhausted.
+func (t *Tenant) Exhausted() int64 { return t.exhausted.Load() }
+
+// Tenants is the tenant directory. Creation is the only write; fits read
+// through an RLock and then operate on the tenant's own session, which has
+// its own synchronization.
+type Tenants struct {
+	mu  sync.RWMutex
+	all map[string]*Tenant
+}
+
+// NewTenants returns an empty directory.
+func NewTenants() *Tenants {
+	return &Tenants{all: make(map[string]*Tenant)}
+}
+
+// Create registers a tenant with the given lifetime ε. The budget must be
+// positive; duplicate names are an error (a tenant's budget is a lifetime
+// commitment — re-creating one would reset its privacy accounting).
+func (ts *Tenants) Create(name string, budget float64) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty tenant name")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("serve: tenant %q: non-positive budget %v", name, budget)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.all[name]; ok {
+		return nil, fmt.Errorf("serve: tenant %q already exists", name)
+	}
+	t := &Tenant{Name: name, Session: funcmech.NewSession(budget)}
+	ts.all[name] = t
+	return t, nil
+}
+
+// Lookup returns the tenant registered under name, or false.
+func (ts *Tenants) Lookup(name string) (*Tenant, bool) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	t, ok := ts.all[name]
+	return t, ok
+}
+
+// All returns the tenants sorted by name.
+func (ts *Tenants) All() []*Tenant {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	out := make([]*Tenant, 0, len(ts.all))
+	for _, t := range ts.all {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

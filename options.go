@@ -60,6 +60,26 @@ func WithParallelism(n int) Option {
 	return func(c *config) { c.opts.Parallelism = n }
 }
 
+// Governor arbitrates accumulation workers across concurrent fits sharing
+// one process; see WithGovernor.
+type Governor = core.Governor
+
+// WithGovernor submits the fit's resolved parallelism to a process-global
+// arbiter before the accumulation pool spins up, so many fits in flight
+// cannot oversubscribe the machine: the fit uses only the worker count the
+// governor grants (≥ 1) and returns it when the data pass finishes. This is
+// the knob a serving layer uses to keep in-flight fits × per-fit
+// parallelism under a GOMAXPROCS-derived cap. Acquire may block until
+// capacity frees, delaying the fit rather than degrading neighbours.
+//
+// Because the granted worker count depends on concurrent load, models fitted
+// under a governor are reproducible only to floating-point round-off across
+// runs (same caveat as varying WithParallelism); the privacy guarantee is
+// unchanged. A nil governor is ignored.
+func WithGovernor(g Governor) Option {
+	return func(c *config) { c.opts.Governor = g }
+}
+
 // WithSeed makes the mechanism's noise deterministic — for reproduction and
 // tests. Without a seed (or WithRand), a random seed is drawn. For models
 // that are bit-identical across machines, combine with WithParallelism(1);

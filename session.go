@@ -22,6 +22,12 @@ import (
 // charges the doubled amount. A fit that fails after the debit (e.g. a
 // validation error) still consumes its budget: whether the pipeline errored
 // is itself data-dependent information, so refunding it would be unsound.
+//
+// A Session is safe for concurrent use: the accountant debits atomically
+// before any fit touches the data (charge-then-fit), so goroutines racing on
+// the same session can never jointly overspend the lifetime ε — losers of
+// the race get ErrBudgetExhausted. This is the discipline a multi-tenant
+// serving layer leans on; see internal/serve.
 type Session struct {
 	budget *noise.Budget
 }
