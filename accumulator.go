@@ -1,0 +1,276 @@
+package funcmech
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"funcmech/internal/core"
+	"funcmech/internal/dataset"
+)
+
+// Accumulator folds raw records into the polynomial coefficients of the
+// regression objectives as they arrive, so a model can later be fitted
+// without ever materializing the records: the functional mechanism's fit
+// step needs only these sums (paper Algorithm 1), and maintaining them is a
+// streaming monoid fold. One accumulator serves linear, ridge and logistic
+// refits over the same ingested records — ridge shares the linear
+// coefficients (its penalty is data-independent), logistic keeps its own.
+//
+// Records are validated against the schema and clamped to its public bounds
+// exactly as the one-shot fit paths do, so a fit from an accumulator is
+// bit-identical to the corresponding one-shot fit over the same records in
+// the same order (at a fixed seed; see LinearRegressionFromAccumulator).
+//
+// The accumulated coefficients are raw sums over records with no noise
+// added: an Accumulator (and anything serialized from it via Save) is as
+// sensitive as the records themselves and must stay in the same trust
+// domain. Privacy is only guaranteed for the weights released by the
+// ...FromAccumulator fit functions.
+//
+// An Accumulator is not safe for concurrent use; guard it with a mutex or
+// use one per goroutine and Merge (see internal/stream for the sharded
+// serving-layer discipline).
+type Accumulator struct {
+	schema    Schema
+	intercept bool
+	threshold *float64
+
+	nz       *dataset.Normalizer // over the augmented schema
+	d        int                 // augmented dimensionality
+	linear   *core.Accumulator   // LinearTask coefficients; RidgeTask shares them
+	logistic *core.Accumulator   // LogisticTask coefficients
+
+	// logisticErr, once set, marks the logistic coefficients unusable: a
+	// record arrived whose target was not boolean and no binarize threshold
+	// was configured. Linear ingestion continues; logistic refits fail with
+	// this error.
+	logisticErr error
+}
+
+// NewAccumulator returns an empty accumulator for the schema. Of the fit
+// options only WithIntercept and WithBinarizeThreshold apply — they shape
+// the per-record fold, so they are fixed for the accumulator's lifetime and
+// must not be passed again at fit time. Without a threshold, logistic
+// coefficients are maintained only while every target is exactly 0 or 1.
+func NewAccumulator(s Schema, opts ...Option) (*Accumulator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := buildConfig(opts)
+	inner := s.internal()
+	if cfg.intercept {
+		inner.Features = append(inner.Features, dataset.Attribute{Name: interceptName, Min: 0, Max: 1})
+	}
+	d := inner.D()
+	return &Accumulator{
+		schema:    s,
+		intercept: cfg.intercept,
+		threshold: cfg.threshold,
+		nz:        dataset.NewNormalizer(inner),
+		d:         d,
+		linear:    core.NewAccumulator(core.LinearTask{}, d),
+		logistic:  core.NewAccumulator(core.LogisticTask{}, d),
+	}, nil
+}
+
+// Add folds one raw record into the coefficients. Features are clamped to
+// the schema's public bounds and normalized exactly as the one-shot fit
+// paths normalize them; the linear target is clamped into its domain, the
+// logistic target is binarized with the accumulator's threshold when one was
+// configured. NaN values are rejected (they would poison the sums
+// irreversibly); infinities clamp to the domain edge like any other
+// out-of-domain value.
+func (a *Accumulator) Add(features []float64, target float64) error {
+	if len(features) != len(a.schema.Features) {
+		return fmt.Errorf("funcmech: record has %d features, schema has %d", len(features), len(a.schema.Features))
+	}
+	for j, v := range features {
+		if math.IsNaN(v) {
+			return fmt.Errorf("funcmech: feature %q is NaN", a.schema.Features[j].Name)
+		}
+	}
+	if math.IsNaN(target) {
+		return fmt.Errorf("funcmech: target %q is NaN", a.schema.Target.Name)
+	}
+
+	// Resolve the logistic label before touching any state, so a record is
+	// folded into both objectives or neither.
+	logisticY := target
+	logisticOK := a.logisticErr == nil
+	if logisticOK {
+		switch {
+		case a.threshold != nil:
+			logisticY = 0
+			if target > *a.threshold {
+				logisticY = 1
+			}
+		case target != 0 && target != 1:
+			a.logisticErr = fmt.Errorf("funcmech: record %d target %v is not boolean and the accumulator has no binarize threshold; logistic refits are unavailable", a.linear.N(), target)
+			logisticOK = false
+		}
+	}
+
+	if a.intercept {
+		features = augmentRow(features)
+	}
+	x := a.nz.NormalizeRow(features)
+	a.linear.AddRecord(x, a.nz.NormalizeLabel(target))
+	if logisticOK {
+		a.logistic.AddRecord(x, logisticY)
+	}
+	return nil
+}
+
+// Len returns the number of records accumulated.
+func (a *Accumulator) Len() int { return a.linear.N() }
+
+// NumFeatures returns the raw feature dimensionality (without the intercept
+// column).
+func (a *Accumulator) NumFeatures() int { return len(a.schema.Features) }
+
+// Schema returns a copy of the accumulator's raw schema.
+func (a *Accumulator) Schema() Schema {
+	s := Schema{Target: a.schema.Target}
+	s.Features = append(s.Features, a.schema.Features...)
+	return s
+}
+
+// Intercept reports whether the accumulator folds an intercept column.
+func (a *Accumulator) Intercept() bool { return a.intercept }
+
+// BinarizeThreshold returns the configured logistic threshold, if any.
+func (a *Accumulator) BinarizeThreshold() (float64, bool) {
+	if a.threshold == nil {
+		return 0, false
+	}
+	return *a.threshold, true
+}
+
+// Clone returns a deep copy sharing no mutable state with a.
+func (a *Accumulator) Clone() *Accumulator {
+	out := *a
+	out.linear = a.linear.Clone()
+	out.logistic = a.logistic.Clone()
+	return &out
+}
+
+// Merge folds o's coefficients into a. Both accumulators must have been
+// created with the same schema, intercept and threshold configuration —
+// merging across configurations would mix incompatible geometries.
+func (a *Accumulator) Merge(o *Accumulator) error {
+	if err := a.compatible(o); err != nil {
+		return err
+	}
+	a.linear.Merge(o.linear)
+	a.logistic.Merge(o.logistic)
+	if a.logisticErr == nil {
+		a.logisticErr = o.logisticErr
+	}
+	return nil
+}
+
+func (a *Accumulator) compatible(o *Accumulator) error {
+	if a.intercept != o.intercept {
+		return errors.New("funcmech: merging accumulators with different intercept settings")
+	}
+	switch {
+	case (a.threshold == nil) != (o.threshold == nil):
+		return errors.New("funcmech: merging accumulators with different binarize thresholds")
+	case a.threshold != nil && *a.threshold != *o.threshold:
+		return fmt.Errorf("funcmech: merging accumulators with different binarize thresholds (%v vs %v)", *a.threshold, *o.threshold)
+	}
+	if !schemasEqual(a.schema, o.schema) {
+		return errors.New("funcmech: merging accumulators with different schemas")
+	}
+	return nil
+}
+
+func schemasEqual(a, b Schema) bool {
+	if a.Target != b.Target || len(a.Features) != len(b.Features) {
+		return false
+	}
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fitCfg validates the option surface shared by the FromAccumulator entry
+// points: options that shape the per-record fold are fixed at accumulator
+// creation and must not reappear at fit time.
+func fitCfg(a *Accumulator, opts []Option) (config, error) {
+	cfg := buildConfig(opts)
+	if cfg.intercept {
+		return cfg, errors.New("funcmech: WithIntercept is fixed at accumulator creation")
+	}
+	if cfg.threshold != nil {
+		return cfg, errors.New("funcmech: WithBinarizeThreshold is fixed at accumulator creation")
+	}
+	if a.Len() == 0 {
+		return cfg, errors.New("funcmech: accumulator has no records")
+	}
+	return cfg, nil
+}
+
+// LinearRegressionFromAccumulator fits an ε-differentially private linear
+// (or, WithRidge, penalized) regression from the accumulated coefficients,
+// with no pass over the records: the release costs O(d²) regardless of how
+// many records were ingested. Fresh Laplace noise calibrated to the same
+// sensitivity Δ is drawn per call, so each release independently satisfies
+// ε-differential privacy and repeated releases compose sequentially (use a
+// Session to enforce the total).
+//
+// At a fixed seed the result is bit-identical to LinearRegression over the
+// same records appended in the same order with WithParallelism(1): the
+// accumulator performs the identical serial fold the one-shot path performs.
+// WithParallelism and WithGovernor are accepted but have no effect here —
+// there is no record sweep to parallelize.
+func LinearRegressionFromAccumulator(a *Accumulator, epsilon float64, opts ...Option) (*LinearModel, *Report, error) {
+	cfg, err := fitCfg(a, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.ridge < 0 {
+		return nil, nil, fmt.Errorf("funcmech: negative ridge weight %v", cfg.ridge)
+	}
+	var task core.RecordTask = core.LinearTask{}
+	if cfg.ridge > 0 {
+		task = core.RidgeTask{Weight: cfg.ridge}
+	}
+	res, err := core.RunFromQuadratic(task, a.linear.QuadraticAs(task), epsilon, cfg.rng, cfg.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &LinearModel{
+		weights: res.Weights, nz: a.nz, schema: a.Schema(), intercept: a.intercept,
+	}, reportFrom(res), nil
+}
+
+// LogisticRegressionFromAccumulator fits an ε-differentially private
+// logistic regression from the accumulated coefficients; see
+// LinearRegressionFromAccumulator for the cost and privacy contract. It
+// fails if any ingested record's target was not boolean and the accumulator
+// had no binarize threshold.
+func LogisticRegressionFromAccumulator(a *Accumulator, epsilon float64, opts ...Option) (*LogisticModel, *Report, error) {
+	cfg, err := fitCfg(a, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.ridge != 0 {
+		return nil, nil, errors.New("funcmech: WithRidge applies only to linear regression")
+	}
+	if a.logisticErr != nil {
+		return nil, nil, a.logisticErr
+	}
+	res, err := core.RunFromQuadratic(core.LogisticTask{}, a.logistic.Quadratic(), epsilon, cfg.rng, cfg.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &LogisticModel{
+		weights: res.Weights, nz: a.nz, schema: a.Schema(),
+		threshold: a.threshold, intercept: a.intercept,
+	}, reportFrom(res), nil
+}

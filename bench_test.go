@@ -21,6 +21,7 @@ import (
 	"funcmech/internal/experiments"
 	"funcmech/internal/noise"
 	"funcmech/internal/regression"
+	"funcmech/internal/stream"
 )
 
 // benchConfig is the reduced-scale configuration all pipeline benchmarks
@@ -282,6 +283,87 @@ func BenchmarkPerturbCoefficients(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				core.Perturb(q, l, rng)
+			}
+		})
+	}
+}
+
+// --- Streaming: ingest throughput and O(d²) refit ---------------------------
+
+func streamSchema() funcmech.Schema {
+	var schema funcmech.Schema
+	raw := census.US().Schema()
+	for _, a := range raw.Features {
+		schema.Features = append(schema.Features, funcmech.Attribute{Name: a.Name, Min: a.Min, Max: a.Max})
+	}
+	schema.Target = funcmech.Attribute{Name: raw.Target.Name, Min: raw.Target.Min, Max: raw.Target.Max}
+	return schema
+}
+
+func streamRows(n int) [][]float64 {
+	raw := census.GenerateN(census.US(), n, 1)
+	rows := make([][]float64, raw.N())
+	for i := range rows {
+		row := make([]float64, raw.D()+1)
+		copy(row, raw.Row(i))
+		row[raw.D()] = raw.Label(i)
+		rows[i] = row
+	}
+	return rows
+}
+
+// BenchmarkIngest measures streaming ingestion — the per-record O(d²)
+// coefficient fold, including validation, clamping and normalization — in
+// records/sec through internal/stream's batch path.
+func BenchmarkIngest(b *testing.B) {
+	rows := streamRows(4096)
+	for _, batch := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s, err := stream.New("bench", stream.Config{Schema: streamSchema()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := (i * batch) % (len(rows) - batch)
+				if _, err := s.Ingest(rows[lo : lo+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch), "records/op")
+		})
+	}
+}
+
+// BenchmarkRefitFromStream is the acceptance benchmark for incremental
+// refits: the private release from cached coefficients must cost the same at
+// n=10k and n=100k (time/op independent of record count), in contrast to the
+// one-shot fit whose O(n·d²) sweep scales linearly.
+func BenchmarkRefitFromStream(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, err := stream.New("bench", stream.Config{Schema: streamSchema()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows := streamRows(n)
+			for lo := 0; lo < len(rows); lo += 5000 {
+				hi := lo + 5000
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				if _, err := s.Ingest(rows[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := funcmech.LinearRegressionFromAccumulator(
+					s.Merged(), 0.8, funcmech.WithSeed(int64(i))); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

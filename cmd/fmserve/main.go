@@ -6,18 +6,29 @@
 // in-flight fits × per-fit parallelism under a GOMAXPROCS-derived cap, so
 // concurrent tenants cannot oversubscribe the accumulation worker pool.
 //
+// Beyond one-shot fits, streams accept records continuously
+// (POST /v1/streams, /v1/streams/{name}/ingest) and serve private refits
+// from live coefficient accumulators with no dataset rescan
+// (/v1/streams/{name}/refit). With -snapshot-dir the stream state is
+// persisted — periodically when -snapshot-every > 0, and always on graceful
+// shutdown — and restored on boot, so a restarted server refits without
+// re-ingesting a single record.
+//
 // Usage:
 //
 //	fmserve -addr=:8080 -gen income=us:30000:1 -tenant acme=2.0
 //	fmserve -addr=:8080 -max-fits=4 -worker-cap=8
+//	fmserve -addr=:8080 -snapshot-dir=/var/lib/fmserve -snapshot-every=30s
 //
 // Datasets and tenants can also be created at runtime via POST /v1/datasets
 // and POST /v1/tenants. On SIGINT/SIGTERM the server stops accepting
 // requests and drains in-flight fits before exiting (see -drain-timeout).
 //
 // Endpoints: GET /healthz, GET /v1/stats, POST/GET /v1/datasets,
-// POST/GET /v1/tenants, GET /v1/tenants/{name}, POST /v1/fit. See the
-// README's Serving section for the request and response shapes.
+// POST/GET /v1/tenants, GET /v1/tenants/{name}, POST /v1/fit,
+// POST/GET /v1/streams, POST /v1/streams/{name}/ingest,
+// POST /v1/streams/{name}/refit. See the README's Serving and Streaming
+// sections for the request and response shapes.
 package main
 
 import (
@@ -37,16 +48,19 @@ import (
 
 	"funcmech"
 	"funcmech/internal/serve"
+	"funcmech/internal/stream"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		maxFits      = flag.Int("max-fits", 0, "max fits in flight; excess requests queue (0 = GOMAXPROCS)")
-		workerCap    = flag.Int("worker-cap", 0, "global accumulation-worker capacity shared across fits (0 = GOMAXPROCS)")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight fits")
-		gens         []string
-		tenants      []string
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxFits       = flag.Int("max-fits", 0, "max fits in flight; excess requests queue (0 = GOMAXPROCS)")
+		workerCap     = flag.Int("worker-cap", 0, "global accumulation-worker capacity shared across fits (0 = GOMAXPROCS)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight fits")
+		snapshotDir   = flag.String("snapshot-dir", "", "directory for stream snapshots; restored on boot, saved on shutdown (empty = no persistence)")
+		snapshotEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic stream-snapshot interval (0 = only on shutdown; needs -snapshot-dir)")
+		gens          []string
+		tenants       []string
 	)
 	flag.Func("gen", "register a generated census dataset, name=profile:n[:seed] (repeatable)", func(v string) error {
 		gens = append(gens, v)
@@ -80,6 +94,22 @@ func main() {
 		log.Printf("fmserve: tenant %q created (lifetime ε = %v)", name, budget)
 	}
 
+	var store *stream.Store
+	if *snapshotDir != "" {
+		var err error
+		if store, err = stream.NewStore(*snapshotDir); err != nil {
+			fatal(err)
+		}
+		n, err := store.LoadAll(srv.Streams())
+		if err != nil {
+			fatal(fmt.Errorf("fmserve: restoring snapshots: %w", err))
+		}
+		records, batches := srv.Streams().Totals()
+		srv.SeedIngestStats(records, batches)
+		log.Printf("fmserve: restored %d stream(s) from %s (%d records over %d batches, no re-ingest needed)",
+			n, store.Dir(), records, batches)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -92,6 +122,28 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	snapDone := make(chan struct{})
+	close(snapDone)
+	if store != nil && *snapshotEvery > 0 {
+		snapDone = make(chan struct{})
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := store.SaveAll(srv.Streams()); err != nil {
+						log.Printf("fmserve: periodic snapshot failed: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		fatal(err)
@@ -107,6 +159,16 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+	if store != nil {
+		// Final snapshot after the drain, so every ingested batch survives
+		// the restart. Wait out any periodic SaveAll still in flight first —
+		// a stale save finishing later would rename over the final one.
+		<-snapDone
+		if err := store.SaveAll(srv.Streams()); err != nil {
+			fatal(fmt.Errorf("fmserve: final snapshot failed: %w", err))
+		}
+		log.Printf("fmserve: stream snapshots saved to %s", store.Dir())
 	}
 	log.Printf("fmserve: drained, bye")
 }

@@ -34,6 +34,28 @@
 // forces the serial sweep. Parallelism never changes the privacy
 // calibration, only the floating-point summation order.
 //
+// # Streaming and incremental refits
+//
+// The fit step of the functional mechanism consumes only the objective's
+// polynomial coefficients, which are sums over records. An Accumulator
+// exploits that: records fold into the coefficient sums as they arrive and
+// are never retained, and LinearRegressionFromAccumulator /
+// LogisticRegressionFromAccumulator release a private model from the cached
+// sums in O(d²), independent of how many records were ever ingested.
+//
+// Incremental refits preserve the paper's ε guarantee unchanged, for two
+// reasons. First, the accumulated coefficients are internal state, never
+// released: only the noisy minimizer leaves, exactly as in Algorithm 1, and
+// the sensitivity Δ of the coefficients is the same data-independent bound
+// whether they were computed in one sweep or incrementally (the sums are
+// identical). Second, noise is drawn fresh per release, so each refit is an
+// independent ε-differentially private mechanism over the records ingested
+// so far; repeated refits compose sequentially (total cost Σεᵢ), which is
+// precisely what a Session enforces. What streaming does NOT weaken is also
+// worth stating: an un-noised Accumulator (and any snapshot written from
+// it) holds raw aggregates and is as sensitive as the records themselves —
+// persist it only in the trust domain that holds the data.
+//
 // # What the privacy guarantee covers
 //
 // The returned model weights are ε-differentially private with respect to

@@ -109,10 +109,81 @@ func (a *Accumulator) Merge(o *Accumulator) {
 // terms are applied. The accumulator itself is left untouched, so streaming
 // can continue and Quadratic can be called again later.
 func (a *Accumulator) Quadratic() *poly.Quadratic {
+	return a.QuadraticAs(a.task)
+}
+
+// QuadraticAs finalizes the accumulated coefficients under a different task.
+// This is only sound when the two tasks share AccumulateRecord — the use case
+// is RidgeTask, whose per-record contributions are exactly LinearTask's and
+// which differs only in its data-independent finalization, so one live
+// accumulator can serve both plain and penalized refits.
+func (a *Accumulator) QuadraticAs(task RecordTask) *poly.Quadratic {
 	out := a.q.Clone()
 	out.M.MirrorUpper()
-	a.task.FinalizeObjective(out, a.n)
+	task.FinalizeObjective(out, a.n)
 	return out
+}
+
+// Clone returns a deep copy sharing no state with a; the copy continues to
+// accumulate under the same task.
+func (a *Accumulator) Clone() *Accumulator {
+	return &Accumulator{task: a.task, d: a.d, n: a.n, q: a.q.Clone()}
+}
+
+// AccumulatorState is the portable content of an Accumulator: the record
+// count plus the unfinalized partial coefficients (upper triangle of M only,
+// exactly as accumulated). It exists so a long-lived ingestion service can
+// snapshot its live accumulators to disk and restore them after a restart
+// without re-ingesting. The coefficients are raw sums over records — no noise
+// has been added — so a serialized state is as sensitive as the records
+// themselves and must be stored in the same trust domain.
+type AccumulatorState struct {
+	N     int         `json:"n"`
+	Alpha []float64   `json:"alpha"`
+	M     [][]float64 `json:"m"` // d×d row-major, lower triangle zero
+	Beta  float64     `json:"beta"`
+}
+
+// State returns a deep copy of the accumulator's content.
+func (a *Accumulator) State() AccumulatorState {
+	st := AccumulatorState{
+		N:     a.n,
+		Alpha: append([]float64(nil), a.q.Alpha...),
+		M:     make([][]float64, a.d),
+		Beta:  a.q.Beta,
+	}
+	for i := 0; i < a.d; i++ {
+		st.M[i] = append([]float64(nil), a.q.M.Row(i)...)
+	}
+	return st
+}
+
+// AccumulatorFromState rebuilds an accumulator from a snapshot taken with
+// State. The task must match the one the coefficients were accumulated under;
+// that correspondence is the caller's responsibility (the state carries no
+// task tag).
+func AccumulatorFromState(task RecordTask, st AccumulatorState) (*Accumulator, error) {
+	d := len(st.Alpha)
+	if d == 0 {
+		return nil, fmt.Errorf("core: accumulator state has no coefficients")
+	}
+	if st.N < 0 {
+		return nil, fmt.Errorf("core: accumulator state has negative record count %d", st.N)
+	}
+	if len(st.M) != d {
+		return nil, fmt.Errorf("core: accumulator state matrix has %d rows for %d coefficients", len(st.M), d)
+	}
+	a := NewAccumulator(task, d)
+	a.n = st.N
+	copy(a.q.Alpha, st.Alpha)
+	a.q.Beta = st.Beta
+	for i, row := range st.M {
+		if len(row) != d {
+			return nil, fmt.Errorf("core: accumulator state row %d has %d entries, want %d", i, len(row), d)
+		}
+		copy(a.q.M.Row(i), row)
+	}
+	return a, nil
 }
 
 // minShardRecords is the smallest shard worth a goroutine: below this the

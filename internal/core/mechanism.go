@@ -45,6 +45,36 @@ type Result struct {
 // PostProcessResample); everything after the perturbation step is
 // post-processing of the noisy coefficients and consumes no further budget.
 func Run(task Task, ds *dataset.Dataset, eps float64, rng *rand.Rand, opts Options) (*Result, error) {
+	// eps/opts are re-validated inside RunFromQuadratic; checking them here
+	// too keeps a bad request from paying for the O(n·d²) objective build.
+	if eps <= 0 {
+		return nil, fmt.Errorf("core: non-positive privacy budget %v", eps)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := task.Validate(ds); err != nil {
+		return nil, err
+	}
+	exact := GovernedObjective(task, ds, opts.Parallelism, opts.Governor)
+	return RunFromQuadratic(task, exact, eps, rng, opts)
+}
+
+// RunFromQuadratic executes the mechanism's release step — perturbation plus
+// post-processing — from a pre-built exact objective, skipping the O(n·d²)
+// record sweep entirely. This is the incremental-refit path: a streaming
+// ingestion layer maintains the objective's polynomial coefficients as
+// records arrive (they are sums over records, so maintenance is a monoid
+// fold) and every private release costs only O(d²) from the cached sums.
+//
+// The privacy guarantee is identical to Run's: exact must be built from the
+// records by the same accumulation Run would perform (so its coefficients
+// have the task's sensitivity Δ), the fresh Laplace draws happen here, and
+// only the perturbed minimizer leaves. The exact coefficients themselves are
+// never part of the release. The caller is responsible for the geometric
+// preconditions Task.Validate would check on the raw records (unit-sphere
+// features, target range) — an ingestion layer enforces them per record.
+func RunFromQuadratic(task Task, exact *poly.Quadratic, eps float64, rng *rand.Rand, opts Options) (*Result, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("core: non-positive privacy budget %v", eps)
 	}
@@ -52,14 +82,10 @@ func Run(task Task, ds *dataset.Dataset, eps float64, rng *rand.Rand, opts Optio
 		return nil, err
 	}
 	opts = opts.withDefaults()
-	if err := task.Validate(ds); err != nil {
-		return nil, err
-	}
 
-	d := ds.D()
+	d := exact.Dim()
 	delta := task.Sensitivity(d)
 	scale := noise.NewLaplace(delta, eps)
-	exact := GovernedObjective(task, ds, opts.Parallelism, opts.Governor)
 
 	res := &Result{
 		Delta:        delta,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"funcmech"
+	"funcmech/internal/stream"
 )
 
 // Config sizes a Server.
@@ -22,10 +23,12 @@ type Config struct {
 }
 
 // Server is the multi-tenant training service: an http.Handler over a
-// dataset registry, a tenant directory and a parallelism governor. Construct
-// with New, preload via Registry/Tenants, mount Handler.
+// dataset registry, a stream registry, a tenant directory and a parallelism
+// governor. Construct with New, preload via Registry/Tenants/Streams, mount
+// Handler.
 type Server struct {
 	registry *Registry
+	streams  *stream.Registry
 	tenants  *Tenants
 	governor *Governor
 	stats    *Stats
@@ -42,6 +45,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		registry: NewRegistry(),
+		streams:  stream.NewRegistry(),
 		tenants:  NewTenants(),
 		governor: NewGovernor(cfg.WorkerCap),
 		stats:    NewStats(),
@@ -57,11 +61,25 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
 	s.mux.HandleFunc("GET /v1/tenants/{name}", s.handleGetTenant)
 	s.mux.HandleFunc("POST /v1/fit", s.handleFit)
+	s.mux.HandleFunc("POST /v1/streams", s.handleCreateStream)
+	s.mux.HandleFunc("GET /v1/streams", s.handleListStreams)
+	s.mux.HandleFunc("POST /v1/streams/{name}/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/streams/{name}/refit", s.handleRefit)
 	return s
 }
 
 // Registry returns the dataset registry, for startup preloading.
 func (s *Server) Registry() *Registry { return s.registry }
+
+// Streams returns the stream registry, for snapshot restore and persistence.
+func (s *Server) Streams() *stream.Registry { return s.streams }
+
+// SeedIngestStats pre-loads the service-level ingest counters after a
+// snapshot restore, keeping /v1/stats totals consistent with the restored
+// per-stream counts.
+func (s *Server) SeedIngestStats(records, batches uint64) {
+	s.stats.SeedIngest(int64(records), int64(batches))
+}
 
 // Tenants returns the tenant directory, for startup preloading.
 func (s *Server) Tenants() *Tenants { return s.tenants }
@@ -204,13 +222,20 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, datasetInfo{Name: req.Name, Records: ds.Len(), Features: ds.NumFeatures()})
 }
 
-func datasetFromRows(sj schemaJSON, rows [][]float64) (*funcmech.Dataset, error) {
+// schemaFromJSON converts the wire schema to the public type; validity is
+// checked by the consumer (Schema.Validate or stream creation).
+func schemaFromJSON(sj schemaJSON) funcmech.Schema {
 	schema := funcmech.Schema{
 		Target: funcmech.Attribute{Name: sj.Target.Name, Min: sj.Target.Min, Max: sj.Target.Max},
 	}
 	for _, a := range sj.Features {
 		schema.Features = append(schema.Features, funcmech.Attribute{Name: a.Name, Min: a.Min, Max: a.Max})
 	}
+	return schema
+}
+
+func datasetFromRows(sj schemaJSON, rows [][]float64) (*funcmech.Dataset, error) {
+	schema := schemaFromJSON(sj)
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
@@ -303,13 +328,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for _, t := range s.tenants.All() {
 		tenants = append(tenants, infoFor(t))
 	}
+	streams := []streamInfo{}
+	for _, st := range s.streams.All() {
+		streams = append(streams, infoForStream(st))
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"fits_total":        s.stats.Fits(),
-		"fits_failed":       s.stats.Failed(),
-		"fits_in_flight":    len(s.sem),
-		"worker_cap":        s.governor.Cap(),
-		"workers_in_use":    s.governor.InUse(),
-		"fit_latency_ms":    map[string]float64{"p50": ms(p50), "p99": ms(p99)},
+		"fits_total":     s.stats.Fits(),
+		"fits_failed":    s.stats.Failed(),
+		"fits_in_flight": len(s.sem),
+		"worker_cap":     s.governor.Cap(),
+		"workers_in_use": s.governor.InUse(),
+		"fit_latency_ms": map[string]float64{"p50": ms(p50), "p99": ms(p99)},
+		"ingest": map[string]int64{
+			"records_total": s.stats.IngestRecords(),
+			"batches_total": s.stats.IngestBatches(),
+		},
+		"refits_total":      s.stats.Refits(),
+		"refits_failed":     s.stats.RefitsFailed(),
+		"streams":           streams,
 		"tenants":           tenants,
 		"datasets":          s.registry.Names(),
 		"uptime_seconds":    time.Since(s.start).Seconds(),
@@ -360,9 +396,12 @@ type fitResponse struct {
 	ElapsedMS        float64    `json:"elapsed_ms"`
 }
 
-func (o fitOptions) build(model string, gov *Governor) ([]funcmech.Option, error) {
-	opts := []funcmech.Option{funcmech.WithGovernor(gov)}
-	switch o.PostProcess {
+// buildFitCore maps the option surface shared by /v1/fit and
+// /v1/streams/{name}/refit — post-processing, λ-factor, seed, and the
+// model/ridge-weight pairing — so the two endpoints cannot drift.
+func buildFitCore(postProcess string, lambdaFactor float64, seed *int64, model string, ridgeWeight float64) ([]funcmech.Option, error) {
+	var opts []funcmech.Option
+	switch postProcess {
 	case "", "regularize+trim":
 	case "regularize":
 		opts = append(opts, funcmech.WithPostProcess(funcmech.RegularizeOnly))
@@ -371,45 +410,51 @@ func (o fitOptions) build(model string, gov *Governor) ([]funcmech.Option, error
 	case "none":
 		opts = append(opts, funcmech.WithPostProcess(funcmech.NoPostProcess))
 	default:
-		return nil, fmt.Errorf("unknown post_process %q", o.PostProcess)
+		return nil, fmt.Errorf("unknown post_process %q", postProcess)
 	}
-	if o.LambdaFactor != 0 {
-		opts = append(opts, funcmech.WithLambdaFactor(o.LambdaFactor))
+	if lambdaFactor != 0 {
+		opts = append(opts, funcmech.WithLambdaFactor(lambdaFactor))
 	}
+	if seed != nil {
+		opts = append(opts, funcmech.WithSeed(*seed))
+	}
+	switch model {
+	case "linear":
+		if ridgeWeight != 0 {
+			return nil, fmt.Errorf("ridge_weight requires model \"ridge\"")
+		}
+	case "ridge":
+		if ridgeWeight <= 0 {
+			return nil, fmt.Errorf("model \"ridge\" requires positive ridge_weight, got %v", ridgeWeight)
+		}
+		opts = append(opts, funcmech.WithRidge(ridgeWeight))
+	case "logistic":
+		if ridgeWeight != 0 {
+			return nil, fmt.Errorf("ridge_weight applies only to model \"ridge\"")
+		}
+	default:
+		return nil, fmt.Errorf("unknown model %q (want linear, ridge or logistic)", model)
+	}
+	return opts, nil
+}
+
+func (o fitOptions) build(model string, gov *Governor) ([]funcmech.Option, error) {
+	core, err := buildFitCore(o.PostProcess, o.LambdaFactor, o.Seed, model, o.RidgeWeight)
+	if err != nil {
+		return nil, err
+	}
+	opts := append([]funcmech.Option{funcmech.WithGovernor(gov)}, core...)
 	if o.Intercept {
 		opts = append(opts, funcmech.WithIntercept())
 	}
 	if o.Parallelism != 0 {
 		opts = append(opts, funcmech.WithParallelism(o.Parallelism))
 	}
-	if o.Seed != nil {
-		opts = append(opts, funcmech.WithSeed(*o.Seed))
-	}
-	switch model {
-	case "linear":
-		if o.RidgeWeight != 0 {
-			return nil, fmt.Errorf("ridge_weight requires model \"ridge\"")
-		}
-		if o.BinarizeThreshold != nil {
+	if o.BinarizeThreshold != nil {
+		if model != "logistic" {
 			return nil, fmt.Errorf("binarize_threshold applies only to model \"logistic\"")
 		}
-	case "ridge":
-		if o.RidgeWeight <= 0 {
-			return nil, fmt.Errorf("model \"ridge\" requires positive ridge_weight, got %v", o.RidgeWeight)
-		}
-		if o.BinarizeThreshold != nil {
-			return nil, fmt.Errorf("binarize_threshold applies only to model \"logistic\"")
-		}
-		opts = append(opts, funcmech.WithRidge(o.RidgeWeight))
-	case "logistic":
-		if o.RidgeWeight != 0 {
-			return nil, fmt.Errorf("ridge_weight applies only to model \"ridge\"")
-		}
-		if o.BinarizeThreshold != nil {
-			opts = append(opts, funcmech.WithBinarizeThreshold(*o.BinarizeThreshold))
-		}
-	default:
-		return nil, fmt.Errorf("unknown model %q (want linear, ridge or logistic)", model)
+		opts = append(opts, funcmech.WithBinarizeThreshold(*o.BinarizeThreshold))
 	}
 	return opts, nil
 }

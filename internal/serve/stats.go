@@ -3,6 +3,7 @@ package serve
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,14 +13,22 @@ import (
 // all-time history, which is what an operator watching p99 wants.
 const latencyWindow = 1024
 
-// Stats aggregates service-level counters: fits served/refused and a sliding
-// window of fit latencies for quantile estimates. Safe for concurrent use.
+// Stats aggregates service-level counters: fits served/refused, a sliding
+// window of fit latencies for quantile estimates, streaming-ingest volume
+// and refit counts. Safe for concurrent use.
 type Stats struct {
 	mu        sync.Mutex
 	fits      int64
 	failed    int64
 	durations [latencyWindow]time.Duration
 	count     int // total observations ever (ring index derives from it)
+
+	// Streaming counters: ingest volume is tracked with atomics because the
+	// ingest hot path should not contend with the latency ring's mutex.
+	ingestRecords atomic.Int64
+	ingestBatches atomic.Int64
+	refits        atomic.Int64
+	refitsFailed  atomic.Int64
 }
 
 // NewStats returns zeroed counters.
@@ -54,6 +63,41 @@ func (s *Stats) Failed() int64 {
 	defer s.mu.Unlock()
 	return s.failed
 }
+
+// RecordIngest observes one accepted ingest batch of n records.
+func (s *Stats) RecordIngest(n int) {
+	s.ingestBatches.Add(1)
+	s.ingestRecords.Add(int64(n))
+}
+
+// SeedIngest pre-loads the ingest totals, so counters restored from stream
+// snapshots stay consistent with the per-stream counts the same /v1/stats
+// payload reports.
+func (s *Stats) SeedIngest(records, batches int64) {
+	s.ingestRecords.Add(records)
+	s.ingestBatches.Add(batches)
+}
+
+// IngestRecords returns the total records accepted across all streams.
+func (s *Stats) IngestRecords() int64 { return s.ingestRecords.Load() }
+
+// IngestBatches returns the total ingest batches accepted.
+func (s *Stats) IngestBatches() int64 { return s.ingestBatches.Load() }
+
+// RecordRefit observes one refit-from-stream attempt.
+func (s *Stats) RecordRefit(ok bool) {
+	if ok {
+		s.refits.Add(1)
+	} else {
+		s.refitsFailed.Add(1)
+	}
+}
+
+// Refits returns the successful refit-from-stream count.
+func (s *Stats) Refits() int64 { return s.refits.Load() }
+
+// RefitsFailed returns the failed refit-from-stream count.
+func (s *Stats) RefitsFailed() int64 { return s.refitsFailed.Load() }
 
 // Percentiles returns the p50 and p99 fit latency over the sliding window,
 // or zeros when nothing has been observed.

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"funcmech"
+	"funcmech/internal/stream"
+)
+
+// Streaming endpoints: records arrive continuously via append-only streams
+// and private models are refitted from the streams' live coefficient
+// accumulators — no dataset rescan, so a refit's cost is O(d²) regardless of
+// how many records were ever ingested. Budgets are charged per release
+// through the tenant's Session, exactly like /v1/fit.
+
+// POST /v1/streams
+
+type streamRequest struct {
+	Name   string      `json:"name"`
+	Schema *schemaJSON `json:"schema"`
+	// Intercept and BinarizeThreshold shape the per-record fold, so they are
+	// fixed at stream creation (refits must not pass them again).
+	Intercept         bool     `json:"intercept,omitempty"`
+	BinarizeThreshold *float64 `json:"binarize_threshold,omitempty"`
+	// Shards is the ingest parallelism; ≤1 (default) keeps refits
+	// bit-reproducible against a serial one-shot fit.
+	Shards int `json:"shards,omitempty"`
+}
+
+type streamInfo struct {
+	Name      string            `json:"name"`
+	Features  int               `json:"features"`
+	Records   uint64            `json:"records"`
+	Batches   uint64            `json:"batches"`
+	Refits    uint64            `json:"refits"`
+	Shards    int               `json:"shards"`
+	Intercept bool              `json:"intercept"`
+	Threshold *float64          `json:"binarize_threshold,omitempty"`
+	LastRefit *stream.RefitInfo `json:"last_refit,omitempty"`
+}
+
+func infoForStream(s *stream.Stream) streamInfo {
+	cfg := s.Config()
+	records, batches := s.Counts() // one pass: the pair is consistent
+	info := streamInfo{
+		Name:      s.Name(),
+		Features:  len(cfg.Schema.Features),
+		Records:   records,
+		Batches:   batches,
+		Refits:    s.Refits(),
+		Shards:    cfg.Shards,
+		Intercept: cfg.Intercept,
+		Threshold: cfg.BinarizeThreshold,
+	}
+	if last, ok := s.LastRefit(); ok {
+		info.LastRefit = &last
+	}
+	return info
+}
+
+func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	var req streamRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream creation requires a name")
+		return
+	}
+	if req.Schema == nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q: a schema is required", req.Name)
+		return
+	}
+	st, err := s.streams.Create(req.Name, stream.Config{
+		Schema:            schemaFromJSON(*req.Schema),
+		Intercept:         req.Intercept,
+		BinarizeThreshold: req.BinarizeThreshold,
+		Shards:            req.Shards,
+	})
+	if err != nil {
+		status, code := http.StatusBadRequest, codeInvalidRequest
+		if _, exists := s.streams.Lookup(req.Name); exists {
+			status, code = http.StatusConflict, codeConflict
+		}
+		writeError(w, status, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoForStream(st))
+}
+
+// GET /v1/streams
+
+func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
+	infos := []streamInfo{}
+	for _, st := range s.streams.All() {
+		infos = append(infos, infoForStream(st))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"streams": infos})
+}
+
+// POST /v1/streams/{name}/ingest
+
+type ingestRequest struct {
+	// Rows are raw records: the feature vector in schema order with the
+	// target appended. Out-of-bounds values clamp to the schema's public
+	// bounds; NaN anywhere rejects the whole batch.
+	Rows [][]float64 `json:"rows"`
+}
+
+type ingestResponse struct {
+	Stream   string `json:"stream"`
+	Accepted int    `json:"accepted"`
+	Records  uint64 `json:"records_total"`
+	Batches  uint64 `json:"batches_total"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.streams.Lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown stream %q", r.PathValue("name"))
+		return
+	}
+	var req ingestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+
+	// The fold is the ingest path's O(batch·d²) CPU cost; draw one worker
+	// from the global governor so heavy ingest traffic and in-flight fits
+	// share the same capacity instead of oversubscribing the machine. The
+	// draw happens inside the gate — after the shard lock is held — so a
+	// batch queued behind another batch does not sit on global capacity.
+	accepted, err := st.IngestGated(req.Rows, func() func() {
+		_, release := s.governor.Acquire(1)
+		return release
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		return
+	}
+	s.stats.RecordIngest(accepted)
+	records, batches := st.Counts()
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Stream:   st.Name(),
+		Accepted: accepted,
+		Records:  records,
+		Batches:  batches,
+	})
+}
+
+// POST /v1/streams/{name}/refit
+
+type refitOptions struct {
+	// PostProcess is one of "regularize+trim" (default), "regularize",
+	// "resample" (costs 2ε), "none".
+	PostProcess  string  `json:"post_process,omitempty"`
+	LambdaFactor float64 `json:"lambda_factor,omitempty"`
+	RidgeWeight  float64 `json:"ridge_weight,omitempty"`
+	Seed         *int64  `json:"seed,omitempty"`
+	// Intercept, binarize_threshold and parallelism are deliberately absent:
+	// the first two are fixed at stream creation, and a refit has no record
+	// sweep to parallelize. DisallowUnknownFields rejects them with a 400.
+}
+
+type refitRequest struct {
+	Tenant  string       `json:"tenant"`
+	Model   string       `json:"model"` // linear | ridge | logistic
+	Epsilon float64      `json:"epsilon"`
+	Options refitOptions `json:"options"`
+}
+
+type refitResponse struct {
+	Tenant           string     `json:"tenant"`
+	Stream           string     `json:"stream"`
+	Model            string     `json:"model"`
+	RecordsCovered   int        `json:"records_covered"`
+	Weights          []float64  `json:"weights"`
+	Report           reportJSON `json:"report"`
+	EpsilonRemaining float64    `json:"epsilon_remaining"`
+	ElapsedMS        float64    `json:"elapsed_ms"`
+}
+
+func (o refitOptions) build(model string) ([]funcmech.Option, error) {
+	return buildFitCore(o.PostProcess, o.LambdaFactor, o.Seed, model, o.RidgeWeight)
+}
+
+func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.streams.Lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown stream %q", r.PathValue("name"))
+		return
+	}
+	var req refitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	tenant, ok := s.tenants.Lookup(req.Tenant)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown tenant %q", req.Tenant)
+		return
+	}
+	opts, err := req.Options.build(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		return
+	}
+	if req.Epsilon <= 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "non-positive epsilon %v", req.Epsilon)
+		return
+	}
+	if st.Records() == 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q has no records", st.Name())
+		return
+	}
+
+	// No admission semaphore here: a refit never rescans records, so its
+	// O(d²) cost is negligible next to a fit and queueing it behind fits
+	// would only add latency. Budget enforcement is identical to /v1/fit —
+	// the Session debits atomically before the release happens.
+	start := time.Now()
+	acc := st.Merged()
+	var (
+		weights []float64
+		report  *funcmech.Report
+	)
+	switch req.Model {
+	case "linear", "ridge":
+		var m *funcmech.LinearModel
+		m, report, err = tenant.Session.LinearRegressionFromAccumulator(acc, req.Epsilon, opts...)
+		if err == nil {
+			weights = m.Weights()
+		}
+	case "logistic":
+		var m *funcmech.LogisticModel
+		m, report, err = tenant.Session.LogisticRegressionFromAccumulator(acc, req.Epsilon, opts...)
+		if err == nil {
+			weights = m.Weights()
+		}
+	}
+	elapsed := time.Since(start)
+	s.stats.RecordRefit(err == nil)
+
+	if err != nil {
+		if errors.Is(err, funcmech.ErrBudgetExhausted) {
+			tenant.exhausted.Add(1)
+			writeError(w, http.StatusPaymentRequired, codeBudgetExhausted, "tenant %q: %v", req.Tenant, err)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
+		return
+	}
+	tenant.fits.Add(1)
+	st.RecordRefit(stream.RefitInfo{
+		Model:   req.Model,
+		Tenant:  req.Tenant,
+		Epsilon: report.Epsilon,
+		Records: uint64(acc.Len()),
+		At:      time.Now().UTC(),
+	})
+	writeJSON(w, http.StatusOK, refitResponse{
+		Tenant:         req.Tenant,
+		Stream:         st.Name(),
+		Model:          req.Model,
+		RecordsCovered: acc.Len(),
+		Weights:        weights,
+		Report: reportJSON{
+			EpsilonSpent: report.Epsilon,
+			Delta:        report.Delta,
+			NoiseScale:   report.NoiseScale,
+			Lambda:       report.Lambda,
+			Trimmed:      report.Trimmed,
+			Resamples:    report.Resamples,
+		},
+		EpsilonRemaining: tenant.Session.Remaining(),
+		ElapsedMS:        ms(elapsed),
+	})
+}

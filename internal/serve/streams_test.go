@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func testStreamSchema() *schemaJSON {
+	return &schemaJSON{
+		Features: []attributeJSON{
+			{Name: "x1", Min: 0, Max: 10},
+			{Name: "x2", Min: 0, Max: 5},
+		},
+		Target: attributeJSON{Name: "y", Min: 0, Max: 50},
+	}
+}
+
+func syntheticRows(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		x1 := rng.Float64() * 10
+		x2 := rng.Float64() * 5
+		y := 3*x1 + 2*x2 + rng.NormFloat64()
+		if y < 0 {
+			y = 0
+		}
+		if y > 50 {
+			y = 50
+		}
+		rows[i] = []float64{x1, x2, y}
+	}
+	return rows
+}
+
+func createStream(t *testing.T, base string, req streamRequest) streamInfo {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/streams", req)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("stream creation: status %d", resp.StatusCode)
+	}
+	return decode[streamInfo](t, resp)
+}
+
+func TestStreamLifecycleOverHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	createStream(t, ts.URL, streamRequest{Name: "readings", Schema: testStreamSchema(), Intercept: true})
+	createTenant(t, ts.URL, "acme", 5)
+
+	// Duplicate names conflict.
+	resp := postJSON(t, ts.URL+"/v1/streams", streamRequest{Name: "readings", Schema: testStreamSchema()})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate stream: status %d, want 409", resp.StatusCode)
+	}
+
+	// Ingest two batches.
+	rows := syntheticRows(120, 1)
+	for _, cut := range [][2]int{{0, 50}, {50, 120}} {
+		resp := postJSON(t, ts.URL+"/v1/streams/readings/ingest", ingestRequest{Rows: rows[cut[0]:cut[1]]})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: status %d", resp.StatusCode)
+		}
+		out := decode[ingestResponse](t, resp)
+		if out.Accepted != cut[1]-cut[0] {
+			t.Fatalf("accepted %d, want %d", out.Accepted, cut[1]-cut[0])
+		}
+	}
+
+	// Refit charges the budget and reports coverage.
+	resp = postJSON(t, ts.URL+"/v1/streams/readings/refit", refitRequest{
+		Tenant: "acme", Model: "linear", Epsilon: 1.0,
+		Options: refitOptions{Seed: ptr(int64(3))},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refit: status %d", resp.StatusCode)
+	}
+	fit := decode[refitResponse](t, resp)
+	if fit.RecordsCovered != 120 || len(fit.Weights) != 3 { // 2 features + intercept
+		t.Fatalf("refit covered %d records with %d weights", fit.RecordsCovered, len(fit.Weights))
+	}
+	if fit.EpsilonRemaining != 4 {
+		t.Fatalf("epsilon_remaining = %v, want 4", fit.EpsilonRemaining)
+	}
+
+	// Stream metadata reflects the ingest and the refit.
+	if got := srv.Streams(); got != nil {
+		st, ok := got.Lookup("readings")
+		if !ok || st.Records() != 120 || st.Batches() != 2 || st.Refits() != 1 {
+			t.Fatalf("stream state: records=%d batches=%d refits=%d", st.Records(), st.Batches(), st.Refits())
+		}
+		last, ok := st.LastRefit()
+		if !ok || last.Model != "linear" || last.Tenant != "acme" || last.Records != 120 {
+			t.Fatalf("last refit: %+v ok=%v", last, ok)
+		}
+	}
+
+	// Service-level ingest counters.
+	if srv.stats.IngestRecords() != 120 || srv.stats.IngestBatches() != 2 || srv.stats.Refits() != 1 {
+		t.Fatalf("stats: records=%d batches=%d refits=%d",
+			srv.stats.IngestRecords(), srv.stats.IngestBatches(), srv.stats.Refits())
+	}
+}
+
+// TestRefitBitIdenticalToFitOverHTTP is the acceptance criterion end to end:
+// the same records, ingested into a single-shard stream versus registered as
+// a dataset, produce bit-identical weights from /v1/streams/{name}/refit and
+// /v1/fit at a fixed seed and parallelism 1.
+func TestRefitBitIdenticalToFitOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createTenant(t, ts.URL, "acme", 10)
+	rows := syntheticRows(400, 2)
+
+	// Path 1: one-shot fit over the materialized dataset.
+	resp := postJSON(t, ts.URL+"/v1/datasets", datasetRequest{
+		Name: "materialized", Schema: testStreamSchema(), Rows: rows,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("dataset: status %d", resp.StatusCode)
+	}
+	seed := int64(17)
+	resp = postJSON(t, ts.URL+"/v1/fit", fitRequest{
+		Tenant: "acme", Dataset: "materialized", Model: "linear", Epsilon: 1.0,
+		Options: fitOptions{Intercept: true, Parallelism: 1, Seed: &seed},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fit: status %d", resp.StatusCode)
+	}
+	oneShot := decode[fitResponse](t, resp)
+
+	// Path 2: stream ingest (odd batch sizes) + refit.
+	createStream(t, ts.URL, streamRequest{Name: "live", Schema: testStreamSchema(), Intercept: true})
+	for _, cut := range [][2]int{{0, 37}, {37, 201}, {201, 400}} {
+		resp := postJSON(t, ts.URL+"/v1/streams/live/ingest", ingestRequest{Rows: rows[cut[0]:cut[1]]})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: status %d", resp.StatusCode)
+		}
+	}
+	resp = postJSON(t, ts.URL+"/v1/streams/live/refit", refitRequest{
+		Tenant: "acme", Model: "linear", Epsilon: 1.0,
+		Options: refitOptions{Seed: &seed},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refit: status %d", resp.StatusCode)
+	}
+	refit := decode[refitResponse](t, resp)
+
+	if len(oneShot.Weights) != len(refit.Weights) {
+		t.Fatalf("weight counts differ: %d vs %d", len(oneShot.Weights), len(refit.Weights))
+	}
+	for i := range oneShot.Weights {
+		if oneShot.Weights[i] != refit.Weights[i] {
+			t.Fatalf("weight %d: fit %v vs refit %v (want bit-identical)", i, oneShot.Weights[i], refit.Weights[i])
+		}
+	}
+	if oneShot.Report.Delta != refit.Report.Delta || oneShot.Report.NoiseScale != refit.Report.NoiseScale {
+		t.Fatalf("reports diverge: %+v vs %+v", oneShot.Report, refit.Report)
+	}
+}
+
+func TestConcurrentIngestOverHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	createStream(t, ts.URL, streamRequest{Name: "burst", Schema: testStreamSchema(), Shards: 4})
+
+	const clients, perBatch = 6, 40
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/streams/burst/ingest",
+				ingestRequest{Rows: syntheticRows(perBatch, int64(100+c))})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d", c, resp.StatusCode)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st, _ := srv.Streams().Lookup("burst")
+	if st.Records() != clients*perBatch {
+		t.Fatalf("records = %d, want %d", st.Records(), clients*perBatch)
+	}
+	if srv.stats.IngestRecords() != clients*perBatch || srv.stats.IngestBatches() != clients {
+		t.Fatalf("stats records=%d batches=%d", srv.stats.IngestRecords(), srv.stats.IngestBatches())
+	}
+}
+
+func TestRefitBudgetExhaustionTyped(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createTenant(t, ts.URL, "small", 1)
+	createStream(t, ts.URL, streamRequest{Name: "s", Schema: testStreamSchema()})
+	resp := postJSON(t, ts.URL+"/v1/streams/s/ingest", ingestRequest{Rows: syntheticRows(50, 3)})
+	resp.Body.Close()
+
+	ok := postJSON(t, ts.URL+"/v1/streams/s/refit", refitRequest{Tenant: "small", Model: "linear", Epsilon: 1})
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("first refit: status %d", ok.StatusCode)
+	}
+	refused := postJSON(t, ts.URL+"/v1/streams/s/refit", refitRequest{Tenant: "small", Model: "linear", Epsilon: 1})
+	if refused.StatusCode != http.StatusPaymentRequired {
+		t.Fatalf("second refit: status %d, want 402", refused.StatusCode)
+	}
+	body := decode[errorResponse](t, refused)
+	if body.Error.Code != codeBudgetExhausted {
+		t.Fatalf("error code %q, want %q", body.Error.Code, codeBudgetExhausted)
+	}
+}
+
+func TestRefitRejectsFitTimeFoldOptions(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createTenant(t, ts.URL, "acme", 5)
+	createStream(t, ts.URL, streamRequest{Name: "s", Schema: testStreamSchema()})
+	resp := postJSON(t, ts.URL+"/v1/streams/s/ingest", ingestRequest{Rows: syntheticRows(30, 4)})
+	resp.Body.Close()
+
+	// intercept is fixed at stream creation; the refit options schema
+	// rejects it as an unknown field.
+	raw := map[string]any{
+		"tenant": "acme", "model": "linear", "epsilon": 1.0,
+		"options": map[string]any{"intercept": true},
+	}
+	bad := postJSON(t, ts.URL+"/v1/streams/s/refit", raw)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for intercept in refit options", bad.StatusCode)
+	}
+
+	// An empty stream refuses refits before touching the budget.
+	createStream(t, ts.URL, streamRequest{Name: "empty", Schema: testStreamSchema()})
+	empty := postJSON(t, ts.URL+"/v1/streams/empty/refit", refitRequest{Tenant: "acme", Model: "linear", Epsilon: 1})
+	empty.Body.Close()
+	if empty.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for empty-stream refit", empty.StatusCode)
+	}
+}
+
+func TestIngestValidationOverHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	createStream(t, ts.URL, streamRequest{Name: "v", Schema: testStreamSchema()})
+
+	for name, rows := range map[string][][]float64{
+		"empty":  {},
+		"ragged": {{1, 2, 3}, {1, 2}},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/streams/v/ingest", ingestRequest{Rows: rows})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	missing := postJSON(t, ts.URL+"/v1/streams/nope/ingest", ingestRequest{Rows: syntheticRows(5, 5)})
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stream: status %d, want 404", missing.StatusCode)
+	}
+	if srv.stats.IngestRecords() != 0 {
+		t.Fatalf("rejected batches counted: %d", srv.stats.IngestRecords())
+	}
+}

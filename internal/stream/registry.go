@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the directory of live streams, keyed by name. Creation and
+// restore are the only writes; ingest and refit traffic reads through an
+// RLock and then operates on the stream's own synchronization.
+type Registry struct {
+	mu  sync.RWMutex
+	all map[string]*Stream
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{all: make(map[string]*Stream)}
+}
+
+// Create registers a new empty stream. Duplicate names are an error: a
+// stream is an append-only history, so re-creating one would silently drop
+// ingested records.
+func (r *Registry) Create(name string, cfg Config) (*Stream, error) {
+	s, err := New(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Add(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Add registers an existing stream (the restore path).
+func (r *Registry) Add(s *Stream) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.all[s.Name()]; ok {
+		return fmt.Errorf("stream: %q already exists", s.Name())
+	}
+	r.all[s.Name()] = s
+	return nil
+}
+
+// Lookup returns the stream registered under name, or false.
+func (r *Registry) Lookup(name string) (*Stream, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.all[name]
+	return s, ok
+}
+
+// All returns the streams sorted by name.
+func (r *Registry) All() []*Stream {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Stream, 0, len(r.all))
+	for _, s := range r.all {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Totals returns the aggregate record and batch counts across all streams.
+func (r *Registry) Totals() (records, batches uint64) {
+	for _, s := range r.All() {
+		sr, sb := s.Counts()
+		records += sr
+		batches += sb
+	}
+	return records, batches
+}

@@ -2,11 +2,18 @@ package funcmech
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
+	"funcmech/internal/core"
 	"funcmech/internal/dataset"
 )
+
+// ErrVersionMismatch is returned when a persisted envelope (model or
+// accumulator) carries a version this build does not understand. Callers
+// migrating snapshot directories can match it with errors.Is.
+var ErrVersionMismatch = errors.New("funcmech: unsupported envelope version")
 
 // modelEnvelope is the on-disk format shared by both model kinds. The
 // weights are differentially private, so persisting them is as safe as
@@ -92,7 +99,7 @@ func decodeEnvelope(r io.Reader, kind string) (*modelEnvelope, error) {
 		return nil, fmt.Errorf("funcmech: model kind %q, want %q", env.Kind, kind)
 	}
 	if env.Version != envelopeVersion {
-		return nil, fmt.Errorf("funcmech: unsupported model version %d", env.Version)
+		return nil, fmt.Errorf("%w: model envelope version %d, want %d", ErrVersionMismatch, env.Version, envelopeVersion)
 	}
 	want := len(env.Schema.Features)
 	if env.Intercept {
@@ -102,6 +109,84 @@ func decodeEnvelope(r io.Reader, kind string) (*modelEnvelope, error) {
 		return nil, fmt.Errorf("funcmech: model has %d weights for %d features", len(env.Weights), want)
 	}
 	return &env, nil
+}
+
+// accumulatorEnvelope is the on-disk format of a streaming Accumulator.
+// Unlike modelEnvelope, whose contents are already private, the coefficient
+// sums here are raw aggregates of the ingested records: a serialized
+// accumulator is as sensitive as the records themselves and must be stored
+// in the same trust domain (it exists so an ingestion service can restart
+// without re-ingesting, not for publication).
+type accumulatorEnvelope struct {
+	Kind          string                `json:"kind"` // "accumulator"
+	Schema        Schema                `json:"schema"`
+	Intercept     bool                  `json:"intercept"`
+	Threshold     *float64              `json:"threshold,omitempty"`
+	Linear        core.AccumulatorState `json:"linear"`
+	Logistic      core.AccumulatorState `json:"logistic"`
+	LogisticError string                `json:"logistic_error,omitempty"`
+	Version       int                   `json:"version"`
+}
+
+const accumulatorKind = "accumulator"
+
+// Save writes the accumulator's full state as JSON; LoadAccumulator inverts
+// it. See accumulatorEnvelope for the sensitivity caveat.
+func (a *Accumulator) Save(w io.Writer) error {
+	env := accumulatorEnvelope{
+		Kind:      accumulatorKind,
+		Schema:    a.schema,
+		Intercept: a.intercept,
+		Threshold: a.threshold,
+		Linear:    a.linear.State(),
+		Logistic:  a.logistic.State(),
+		Version:   envelopeVersion,
+	}
+	if a.logisticErr != nil {
+		env.LogisticError = a.logisticErr.Error()
+	}
+	return json.NewEncoder(w).Encode(env)
+}
+
+// LoadAccumulator reads an accumulator written by Save and resumes it:
+// further Add calls continue the same fold, and fits from the restored
+// accumulator are bit-identical to fits from the original.
+func LoadAccumulator(r io.Reader) (*Accumulator, error) {
+	var env accumulatorEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("funcmech: decoding accumulator: %w", err)
+	}
+	if env.Kind != accumulatorKind {
+		return nil, fmt.Errorf("funcmech: envelope kind %q, want %q", env.Kind, accumulatorKind)
+	}
+	if env.Version != envelopeVersion {
+		return nil, fmt.Errorf("%w: accumulator envelope version %d, want %d", ErrVersionMismatch, env.Version, envelopeVersion)
+	}
+	opts := []Option{}
+	if env.Intercept {
+		opts = append(opts, WithIntercept())
+	}
+	if env.Threshold != nil {
+		opts = append(opts, WithBinarizeThreshold(*env.Threshold))
+	}
+	a, err := NewAccumulator(env.Schema, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("funcmech: stored accumulator schema invalid: %w", err)
+	}
+	if len(env.Linear.Alpha) != a.d || len(env.Logistic.Alpha) != a.d {
+		return nil, fmt.Errorf("funcmech: accumulator state dimensionality %d/%d does not match schema's %d",
+			len(env.Linear.Alpha), len(env.Logistic.Alpha), a.d)
+	}
+	if a.linear, err = core.AccumulatorFromState(core.LinearTask{}, env.Linear); err != nil {
+		return nil, fmt.Errorf("funcmech: restoring linear coefficients: %w", err)
+	}
+	if a.logistic, err = core.AccumulatorFromState(core.LogisticTask{}, env.Logistic); err != nil {
+		return nil, fmt.Errorf("funcmech: restoring logistic coefficients: %w", err)
+	}
+	if env.LogisticError != "" {
+		a.logisticErr = errors.New(env.LogisticError)
+	}
+	return a, nil
 }
 
 // envelopeNormalizer rebuilds the normalizer the model was trained with,

@@ -80,3 +80,23 @@ func (s *Session) LogisticRegression(ds *Dataset, epsilon float64, opts ...Optio
 	}
 	return LogisticRegression(ds, epsilon, opts...)
 }
+
+// LinearRegressionFromAccumulator is LinearRegressionFromAccumulator debited
+// against the session budget. An incremental refit is charged exactly like a
+// one-shot fit: noise is drawn fresh per release, so every release costs its
+// full ε under sequential composition even though no record is rescanned.
+func (s *Session) LinearRegressionFromAccumulator(a *Accumulator, epsilon float64, opts ...Option) (*LinearModel, *Report, error) {
+	if err := s.charge(epsilon, opts); err != nil {
+		return nil, nil, err
+	}
+	return LinearRegressionFromAccumulator(a, epsilon, opts...)
+}
+
+// LogisticRegressionFromAccumulator is LogisticRegressionFromAccumulator
+// debited against the session budget; see LinearRegressionFromAccumulator.
+func (s *Session) LogisticRegressionFromAccumulator(a *Accumulator, epsilon float64, opts ...Option) (*LogisticModel, *Report, error) {
+	if err := s.charge(epsilon, opts); err != nil {
+		return nil, nil, err
+	}
+	return LogisticRegressionFromAccumulator(a, epsilon, opts...)
+}
