@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"funcmech/internal/core"
 	"funcmech/internal/dataset"
@@ -120,6 +121,115 @@ func (a *Accumulator) Add(features []float64, target float64) error {
 		a.logistic.AddRecord(x, logisticY)
 	}
 	return nil
+}
+
+// flatScratch is the reusable workspace of one AddFlat call: the normalized
+// flat feature block, the two label columns and one augmented-row buffer.
+// Pooling it makes batch ingestion allocation-free per record (and, once the
+// pool is warm, per batch).
+type flatScratch struct {
+	xs  []float64
+	yl  []float64
+	yg  []float64
+	row []float64
+}
+
+var flatScratchPool = sync.Pool{New: func() any { return new(flatScratch) }}
+
+func (s *flatScratch) ensure(xs, k, row int) {
+	if cap(s.xs) < xs {
+		s.xs = make([]float64, xs)
+	}
+	s.xs = s.xs[:xs]
+	if cap(s.yl) < k {
+		s.yl = make([]float64, k)
+	}
+	s.yl = s.yl[:k]
+	if cap(s.yg) < k {
+		s.yg = make([]float64, k)
+	}
+	s.yg = s.yg[:k]
+	if cap(s.row) < row {
+		s.row = make([]float64, row)
+	}
+	s.row = s.row[:row]
+}
+
+// AddFlat folds a batch of records given as flat row-major storage — each
+// record is its feature vector in schema order with the target appended, so
+// the row width is NumFeatures()+1 — and returns how many records were
+// folded. Unlike Add, the batch is all-or-nothing: every record is validated
+// (width by construction, NaN anywhere) before any is folded, so an error
+// leaves the accumulator untouched.
+//
+// The fold is bit-identical to calling Add on each record in order: records
+// are clamped and normalized by the same per-record code, and the batch then
+// flows through the blocked objective kernel, which preserves per-coefficient
+// record order exactly. Scratch space is pooled, so steady-state batch
+// ingestion performs no per-record allocations.
+func (a *Accumulator) AddFlat(flat []float64) (int, error) {
+	w := len(a.schema.Features) + 1
+	if len(flat)%w != 0 {
+		return 0, fmt.Errorf("funcmech: flat batch of %d values is not a multiple of %d (features + target)", len(flat), w)
+	}
+	k := len(flat) / w
+	if k == 0 {
+		return 0, nil
+	}
+	for i, v := range flat {
+		if math.IsNaN(v) {
+			if c := i % w; c < w-1 {
+				return 0, fmt.Errorf("funcmech: record %d: feature %q is NaN", i/w, a.schema.Features[c].Name)
+			}
+			return 0, fmt.Errorf("funcmech: record %d: target %q is NaN", i/w, a.schema.Target.Name)
+		}
+	}
+
+	// Resolve logistic labels up front: the fold below is grouped by
+	// objective, and a non-boolean target without a threshold poisons the
+	// logistic coefficients from that record on (exactly Add's semantics).
+	kLog := 0
+	var logErr error
+	if a.logisticErr == nil {
+		kLog = k
+	}
+	sc := flatScratchPool.Get().(*flatScratch)
+	defer flatScratchPool.Put(sc)
+	sc.ensure(k*a.d, k, a.d)
+	for i := 0; i < k; i++ {
+		target := flat[(i+1)*w-1]
+		if i < kLog {
+			switch {
+			case a.threshold != nil:
+				sc.yg[i] = 0
+				if target > *a.threshold {
+					sc.yg[i] = 1
+				}
+			case target != 0 && target != 1:
+				logErr = fmt.Errorf("funcmech: record %d target %v is not boolean and the accumulator has no binarize threshold; logistic refits are unavailable", a.linear.N()+i, target)
+				kLog = i
+			default:
+				sc.yg[i] = target
+			}
+		}
+		features := flat[i*w : i*w+w-1]
+		if a.intercept {
+			copy(sc.row, features)
+			sc.row[len(features)] = 1
+			features = sc.row
+		}
+		a.nz.NormalizeRowInto(sc.xs[i*a.d:(i+1)*a.d], features)
+		sc.yl[i] = a.nz.NormalizeLabel(target)
+	}
+
+	a.linear.AddFlat(sc.xs, sc.yl)
+	if kLog > 0 {
+		a.logistic.AddFlat(sc.xs[:kLog*a.d], sc.yg[:kLog])
+	}
+	if a.logisticErr == nil {
+		a.logisticErr = logErr
+	}
+	return k, nil
 }
 
 // Len returns the number of records accumulated.

@@ -1,0 +1,257 @@
+package funcmech_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"funcmech"
+)
+
+// flatRecords generates n raw records for incomeSchema() as one flat buffer
+// (features + target per row) plus the equivalent per-record view.
+func flatRecords(n int, seed int64) ([]float64, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	w := 4 // 3 features + target
+	flat := make([]float64, 0, n*w)
+	rows := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		row := []float64{
+			16 + rng.Float64()*79, // age
+			rng.Float64() * 16,    // education
+			rng.Float64() * 99,    // hours
+			rng.Float64() * 100000,
+		}
+		flat = append(flat, row...)
+		rows = append(rows, row)
+	}
+	return flat, rows
+}
+
+// TestAddFlatBitIdenticalToAddLoop: the pooled flat batch fold must equal a
+// per-record Add loop exactly — the bridge between the serve layer's flat
+// decode path and the historical per-record semantics — for both objectives,
+// with intercept and threshold in play.
+func TestAddFlatBitIdenticalToAddLoop(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []funcmech.Option
+	}{
+		{"plain", nil},
+		{"intercept+threshold", []funcmech.Option{funcmech.WithIntercept(), funcmech.WithBinarizeThreshold(35000)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			flat, rows := flatRecords(500, 7)
+			one, err := funcmech.NewAccumulator(incomeSchema(), tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range rows {
+				if err := one.Add(row[:3], row[3]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			batch, err := funcmech.NewAccumulator(incomeSchema(), tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Split the flat buffer at awkward, unroll-hostile offsets.
+			for _, cut := range [][2]int{{0, 1}, {1, 130}, {130, 131}, {131, 500}} {
+				n, err := batch.AddFlat(flat[cut[0]*4 : cut[1]*4])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != cut[1]-cut[0] {
+					t.Fatalf("AddFlat accepted %d records, want %d", n, cut[1]-cut[0])
+				}
+			}
+			if one.Len() != batch.Len() {
+				t.Fatalf("record counts differ: %d vs %d", one.Len(), batch.Len())
+			}
+
+			lin1, _, err := funcmech.LinearRegressionFromAccumulator(one, 0.8, funcmech.WithSeed(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lin2, _, err := funcmech.LinearRegressionFromAccumulator(batch, 0.8, funcmech.WithSeed(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameWeights(t, "linear", lin1.Weights(), lin2.Weights())
+
+			if tc.opts != nil { // logistic needs the threshold variant
+				log1, _, err := funcmech.LogisticRegressionFromAccumulator(one, 0.8, funcmech.WithSeed(5))
+				if err != nil {
+					t.Fatal(err)
+				}
+				log2, _, err := funcmech.LogisticRegressionFromAccumulator(batch, 0.8, funcmech.WithSeed(5))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameWeights(t, "logistic", log1.Weights(), log2.Weights())
+			}
+		})
+	}
+}
+
+// TestAddFlatLogisticPoisoningMidBatch: a non-boolean target halfway through
+// a flat batch must poison logistic refits from that record on — records
+// before it still count — exactly like the per-record path.
+func TestAddFlatLogisticPoisoningMidBatch(t *testing.T) {
+	build := func(fold func(a *funcmech.Accumulator)) *funcmech.Accumulator {
+		a, err := funcmech.NewAccumulator(incomeSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fold(a)
+		return a
+	}
+	rows := [][]float64{
+		{30, 10, 40, 1},
+		{40, 12, 38, 0},
+		{50, 14, 20, 17}, // poisons logistic from here on
+		{60, 15, 10, 1},
+	}
+	flat := make([]float64, 0, 16)
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	one := build(func(a *funcmech.Accumulator) {
+		for _, r := range rows {
+			if err := a.Add(r[:3], r[3]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	batch := build(func(a *funcmech.Accumulator) {
+		if _, err := a.AddFlat(flat); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if batch.Len() != 4 {
+		t.Fatalf("poisoned batch folded %d records into linear, want 4", batch.Len())
+	}
+	_, _, errOne := funcmech.LogisticRegressionFromAccumulator(one, 0.5)
+	_, _, errBatch := funcmech.LogisticRegressionFromAccumulator(batch, 0.5)
+	if errOne == nil || errBatch == nil {
+		t.Fatalf("poisoned accumulators must refuse logistic refits (one=%v batch=%v)", errOne, errBatch)
+	}
+	if errOne.Error() != errBatch.Error() {
+		t.Fatalf("poisoning errors differ:\n  one:   %v\n  batch: %v", errOne, errBatch)
+	}
+	// Linear refits stay bit-identical despite the poisoning.
+	lin1, _, err := funcmech.LinearRegressionFromAccumulator(one, 0.8, funcmech.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin2, _, err := funcmech.LinearRegressionFromAccumulator(batch, 0.8, funcmech.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWeights(t, "linear after poisoning", lin1.Weights(), lin2.Weights())
+}
+
+// TestAddFlatAllOrNothing: a NaN or a ragged buffer rejects the whole batch
+// and leaves the accumulator byte-identical to its pre-call state.
+func TestAddFlatAllOrNothing(t *testing.T) {
+	acc, err := funcmech.NewAccumulator(incomeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.AddFlat([]float64{30, 10, 40, 20000}); err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := acc.Save(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := acc.AddFlat([]float64{30, 10, 40}); err == nil {
+		t.Fatal("ragged flat buffer: expected error")
+	}
+	if _, err := acc.AddFlat([]float64{30, math.NaN(), 40, 20000, 31, 10, 41, 21000}); err == nil {
+		t.Fatal("NaN feature: expected error")
+	}
+	if _, err := acc.AddFlat([]float64{30, 10, 40, math.NaN()}); err == nil {
+		t.Fatal("NaN target: expected error")
+	}
+	if n, err := acc.AddFlat(nil); n != 0 || err != nil {
+		t.Fatalf("empty batch: n=%d err=%v, want 0/nil", n, err)
+	}
+
+	var after bytes.Buffer
+	if err := acc.Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("rejected batches mutated the accumulator")
+	}
+}
+
+// TestAccumulatorLegacyEnvelopeDecodes: a version-1 envelope (full d×d
+// coefficient matrices) must keep restoring after the packed-triangle
+// format change, producing a bit-identical accumulator.
+func TestAccumulatorLegacyEnvelopeDecodes(t *testing.T) {
+	acc, err := funcmech.NewAccumulator(incomeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _ := flatRecords(40, 11)
+	if _, err := acc.AddFlat(flat); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := acc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the v2 envelope into the legacy v1 shape: unpack mu into the
+	// full matrix m, drop mu, stamp version 1.
+	var env map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"linear", "logistic"} {
+		st := env[key].(map[string]any)
+		alpha := st["alpha"].([]any)
+		mu := st["mu"].([]any)
+		d := len(alpha)
+		m := make([][]float64, d)
+		off := 0
+		for i := 0; i < d; i++ {
+			m[i] = make([]float64, d)
+			for j := i; j < d; j++ {
+				m[i][j] = mu[off].(float64)
+				off++
+			}
+		}
+		st["m"] = m
+		delete(st, "mu")
+	}
+	env["version"] = 1
+	legacy, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(legacy), `"mu"`) {
+		t.Fatal("test setup: packed field survived the legacy rewrite")
+	}
+
+	back, err := funcmech.LoadAccumulator(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy v1 envelope failed to load: %v", err)
+	}
+	m1, _, err := funcmech.LinearRegressionFromAccumulator(acc, 0.8, funcmech.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := funcmech.LinearRegressionFromAccumulator(back, 0.8, funcmech.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWeights(t, "legacy envelope restore", m1.Weights(), m2.Weights())
+}

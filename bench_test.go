@@ -272,6 +272,39 @@ func BenchmarkObjective(b *testing.B) {
 	}
 }
 
+// BenchmarkColumnarKernel is the storage-layout micro-benchmark behind the
+// PR-4 refactor: the blocked SYRK-style kernel over the dataset's flat
+// columnar storage versus the legacy layout — one heap slice per record fed
+// through the scalar per-record fold. Same records, same task, bit-identical
+// output; the delta is purely memory layout and loop structure.
+func BenchmarkColumnarKernel(b *testing.B) {
+	ds := preparedCensus(b, census.US(), experiments.TaskLinear, 14, 100000)
+	d := ds.D()
+	b.Run("columnar/blocked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc := core.NewAccumulator(core.LinearTask{}, d)
+			acc.AddBatch(ds, dataset.Shard{Lo: 0, Hi: ds.N()})
+		}
+	})
+	// Legacy layout: materialize one slice per record, exactly the storage
+	// the pre-PR4 Dataset used, and fold record by record.
+	rows := make([][]float64, ds.N())
+	for i := range rows {
+		rows[i] = append([]float64(nil), ds.Row(i)...)
+	}
+	ys := ds.Labels()
+	b.Run("legacy/per-row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc := core.NewAccumulator(core.LinearTask{}, d)
+			for r := range rows {
+				acc.AddRecord(rows[r], ys[r])
+			}
+		}
+	})
+}
+
 func BenchmarkPerturbCoefficients(b *testing.B) {
 	for _, dim := range []int{5, 14} {
 		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {

@@ -83,17 +83,9 @@ func main() {
 		}
 		log.Printf("fmserve: dataset %q registered (%d records × %d features)", name, ds.Len(), ds.NumFeatures())
 	}
-	for _, spec := range tenants {
-		name, budget, err := parseTenant(spec)
-		if err != nil {
-			fatal(err)
-		}
-		if _, err := srv.Tenants().Create(name, budget); err != nil {
-			fatal(err)
-		}
-		log.Printf("fmserve: tenant %q created (lifetime ε = %v)", name, budget)
-	}
-
+	// Snapshot restore runs before the -tenant flags so persisted lifetime
+	// ε-spend is authoritative: a flag re-declaring a restored tenant must
+	// not reset its accounting.
 	var store *stream.Store
 	if *snapshotDir != "" {
 		var err error
@@ -108,6 +100,30 @@ func main() {
 		srv.SeedIngestStats(records, batches)
 		log.Printf("fmserve: restored %d stream(s) from %s (%d records over %d batches, no re-ingest needed)",
 			n, store.Dir(), records, batches)
+		nt, err := srv.Tenants().LoadBudgets(store.Dir())
+		if err != nil {
+			fatal(fmt.Errorf("fmserve: restoring tenant budgets: %w", err))
+		}
+		if nt > 0 {
+			log.Printf("fmserve: restored %d tenant budget(s) from %s (lifetime ε-spend preserved)", nt, store.Dir())
+		}
+	}
+	for _, spec := range tenants {
+		name, budget, err := parseTenant(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if t, ok := srv.Tenants().Lookup(name); ok {
+			if t.Session.Total() != budget {
+				fatal(fmt.Errorf("fmserve: -tenant %q=%v conflicts with restored lifetime budget %v", name, budget, t.Session.Total()))
+			}
+			log.Printf("fmserve: tenant %q already restored from snapshot; keeping persisted ε-spend %v", name, t.Session.Spent())
+			continue
+		}
+		if _, err := srv.Tenants().Create(name, budget); err != nil {
+			fatal(err)
+		}
+		log.Printf("fmserve: tenant %q created (lifetime ε = %v)", name, budget)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -139,6 +155,9 @@ func main() {
 					if err := store.SaveAll(srv.Streams()); err != nil {
 						log.Printf("fmserve: periodic snapshot failed: %v", err)
 					}
+					if err := srv.Tenants().SaveBudgets(store.Dir()); err != nil {
+						log.Printf("fmserve: periodic tenant-budget snapshot failed: %v", err)
+					}
 				}
 			}
 		}()
@@ -168,7 +187,10 @@ func main() {
 		if err := store.SaveAll(srv.Streams()); err != nil {
 			fatal(fmt.Errorf("fmserve: final snapshot failed: %w", err))
 		}
-		log.Printf("fmserve: stream snapshots saved to %s", store.Dir())
+		if err := srv.Tenants().SaveBudgets(store.Dir()); err != nil {
+			fatal(fmt.Errorf("fmserve: final tenant-budget snapshot failed: %w", err))
+		}
+		log.Printf("fmserve: stream snapshots and tenant budgets saved to %s", store.Dir())
 	}
 	log.Printf("fmserve: drained, bye")
 }

@@ -48,12 +48,20 @@ func NewDataset(s Schema) *Dataset {
 }
 
 // Append adds one record: a feature vector in schema order plus the target
-// value. The slice is copied.
+// value. The values are copied into the dataset's flat columnar storage.
 func (d *Dataset) Append(features []float64, target float64) {
-	row := make([]float64, len(features))
-	copy(row, features)
-	d.inner.Append(row, target)
+	d.inner.Append(features, target)
 }
+
+// AppendBatch adds k records at once: flat row-major feature storage of
+// k·NumFeatures() values plus k targets, copied in one bulk operation.
+func (d *Dataset) AppendBatch(features []float64, targets []float64) {
+	d.inner.AppendBatch(features, targets)
+}
+
+// Grow pre-sizes the dataset for n additional records, so a bulk loader can
+// append without reallocation.
+func (d *Dataset) Grow(n int) { d.inner.Grow(n) }
 
 // Len returns the number of records.
 func (d *Dataset) Len() int { return d.inner.N() }
@@ -106,10 +114,9 @@ func withInterceptColumn(inner *dataset.Dataset) *dataset.Dataset {
 	s.Features = append(s.Features, dataset.Attribute{Name: interceptName, Min: 0, Max: 1})
 	out := dataset.NewWithCapacity(s, inner.N())
 	for i := 0; i < inner.N(); i++ {
-		row := make([]float64, inner.D()+1)
+		row := out.AppendAlloc(inner.Label(i))
 		copy(row, inner.Row(i))
 		row[inner.D()] = 1
-		out.Append(row, inner.Label(i))
 	}
 	return out
 }

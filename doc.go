@@ -34,6 +34,19 @@
 // forces the serial sweep. Parallelism never changes the privacy
 // calibration, only the floating-point summation order.
 //
+// Within each shard the pass runs as a blocked, SYRK-style kernel over the
+// dataset's flat columnar storage (one contiguous row-major array, stride
+// d): records are processed in L1-resident tiles of 128, and the upper
+// triangle of the coefficient matrix is covered in 2×4 register blocks with
+// the record loop innermost. The blocking preserves bit-for-bit
+// reproducibility by construction — each coefficient cell still receives
+// its per-record contributions in exact arrival order, one IEEE-754
+// addition at a time; the registers only spread *distinct* cells across
+// independent add chains, and floating-point addition on distinct cells
+// cannot interact. A fit, refit, or snapshot-restored refit therefore
+// produces the same bits the scalar record-by-record fold always produced
+// (fixed seed, fixed parallelism), while running several times faster.
+//
 // # Streaming and incremental refits
 //
 // The fit step of the functional mechanism consumes only the objective's

@@ -83,15 +83,44 @@ func (a *Accumulator) AddRecord(x []float64, y float64) {
 	a.n++
 }
 
-// AddBatch folds the shard s of ds into the partial objective.
+// AddBatch folds the shard s of ds into the partial objective. Tasks that
+// implement BlockTask (all built-ins) go through the blocked SYRK-style
+// kernel over the dataset's flat columnar storage — bit-identical to the
+// record-by-record fold, several times faster; see kernel.go.
 func (a *Accumulator) AddBatch(ds *dataset.Dataset, s dataset.Shard) {
 	if s.Lo < 0 || s.Hi > ds.N() || s.Lo > s.Hi {
 		panic(fmt.Sprintf("core: AddBatch shard [%d,%d) out of range [0,%d)", s.Lo, s.Hi, ds.N()))
 	}
-	for i := s.Lo; i < s.Hi; i++ {
-		a.task.AccumulateRecord(a.q, ds.Row(i), ds.Label(i))
+	if ds.D() != a.d {
+		panic(fmt.Sprintf("core: AddBatch dataset has %d features, accumulator has %d", ds.D(), a.d))
+	}
+	if bt, ok := a.task.(BlockTask); ok {
+		bt.AccumulateBlock(a.q, ds.FlatRows(s.Lo, s.Hi), ds.Labels()[s.Lo:s.Hi], a.d)
+	} else {
+		for i := s.Lo; i < s.Hi; i++ {
+			a.task.AccumulateRecord(a.q, ds.Row(i), ds.Label(i))
+		}
 	}
 	a.n += s.Len()
+}
+
+// AddFlat folds len(ys) records given as flat row-major feature storage
+// (stride Dim()) into the partial objective — the entry point for ingest
+// pipelines that keep arriving batches in columnar form and never
+// materialize per-record slices.
+func (a *Accumulator) AddFlat(xs []float64, ys []float64) {
+	if len(xs) != len(ys)*a.d {
+		panic(fmt.Sprintf("core: AddFlat with %d feature values for %d records of width %d",
+			len(xs), len(ys), a.d))
+	}
+	if bt, ok := a.task.(BlockTask); ok {
+		bt.AccumulateBlock(a.q, xs, ys, a.d)
+	} else {
+		for i := range ys {
+			a.task.AccumulateRecord(a.q, xs[i*a.d:(i+1)*a.d], ys[i])
+		}
+	}
+	a.n += len(ys)
 }
 
 // Merge folds another accumulator's partial into a. Shards must be merged
@@ -137,31 +166,42 @@ func (a *Accumulator) Clone() *Accumulator {
 // without re-ingesting. The coefficients are raw sums over records — no noise
 // has been added — so a serialized state is as sensitive as the records
 // themselves and must be stored in the same trust domain.
+//
+// Since the accumulator only ever fills the upper triangle, current
+// envelopes carry MU — the packed row-major upper triangle, d(d+1)/2 values
+// — instead of the legacy full d×d matrix M whose lower half was all zeros;
+// that nearly halves snapshot size at production dimensionalities. Decoders
+// accept either form, so version-1 snapshot files keep restoring.
 type AccumulatorState struct {
 	N     int         `json:"n"`
 	Alpha []float64   `json:"alpha"`
-	M     [][]float64 `json:"m"` // d×d row-major, lower triangle zero
+	M     [][]float64 `json:"m,omitempty"`  // legacy: d×d row-major, lower triangle zero
+	MU    []float64   `json:"mu,omitempty"` // packed upper triangle, row-major
 	Beta  float64     `json:"beta"`
 }
 
-// State returns a deep copy of the accumulator's content.
+// packedUpperLen returns d(d+1)/2, the packed upper-triangle size.
+func packedUpperLen(d int) int { return d * (d + 1) / 2 }
+
+// State returns a deep copy of the accumulator's content in packed form.
 func (a *Accumulator) State() AccumulatorState {
 	st := AccumulatorState{
 		N:     a.n,
 		Alpha: append([]float64(nil), a.q.Alpha...),
-		M:     make([][]float64, a.d),
+		MU:    make([]float64, 0, packedUpperLen(a.d)),
 		Beta:  a.q.Beta,
 	}
 	for i := 0; i < a.d; i++ {
-		st.M[i] = append([]float64(nil), a.q.M.Row(i)...)
+		st.MU = append(st.MU, a.q.M.Row(i)[i:]...)
 	}
 	return st
 }
 
 // AccumulatorFromState rebuilds an accumulator from a snapshot taken with
-// State. The task must match the one the coefficients were accumulated under;
-// that correspondence is the caller's responsibility (the state carries no
-// task tag).
+// State, accepting both the packed (MU) and the legacy full-matrix (M)
+// layout. The task must match the one the coefficients were accumulated
+// under; that correspondence is the caller's responsibility (the state
+// carries no task tag).
 func AccumulatorFromState(task RecordTask, st AccumulatorState) (*Accumulator, error) {
 	d := len(st.Alpha)
 	if d == 0 {
@@ -170,18 +210,33 @@ func AccumulatorFromState(task RecordTask, st AccumulatorState) (*Accumulator, e
 	if st.N < 0 {
 		return nil, fmt.Errorf("core: accumulator state has negative record count %d", st.N)
 	}
-	if len(st.M) != d {
-		return nil, fmt.Errorf("core: accumulator state matrix has %d rows for %d coefficients", len(st.M), d)
-	}
 	a := NewAccumulator(task, d)
 	a.n = st.N
 	copy(a.q.Alpha, st.Alpha)
 	a.q.Beta = st.Beta
-	for i, row := range st.M {
-		if len(row) != d {
-			return nil, fmt.Errorf("core: accumulator state row %d has %d entries, want %d", i, len(row), d)
+	switch {
+	case st.MU != nil:
+		if len(st.MU) != packedUpperLen(d) {
+			return nil, fmt.Errorf("core: accumulator state packed triangle has %d entries for %d coefficients (want %d)",
+				len(st.MU), d, packedUpperLen(d))
 		}
-		copy(a.q.M.Row(i), row)
+		off := 0
+		for i := 0; i < d; i++ {
+			copy(a.q.M.Row(i)[i:], st.MU[off:off+d-i])
+			off += d - i
+		}
+	case st.M != nil:
+		if len(st.M) != d {
+			return nil, fmt.Errorf("core: accumulator state matrix has %d rows for %d coefficients", len(st.M), d)
+		}
+		for i, row := range st.M {
+			if len(row) != d {
+				return nil, fmt.Errorf("core: accumulator state row %d has %d entries, want %d", i, len(row), d)
+			}
+			copy(a.q.M.Row(i), row)
+		}
+	default:
+		return nil, fmt.Errorf("core: accumulator state carries no coefficient matrix")
 	}
 	return a, nil
 }

@@ -127,14 +127,18 @@ func (t LogisticTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
 }
 
 // AccumulateRecord implements RecordTask: ⅛xxᵀ on the upper triangle of M,
-// (½−y)·x on α. The constant n·log 2 belongs to FinalizeObjective.
+// (½−y)·x on α. The constant n·log 2 belongs to FinalizeObjective. The ⅛
+// Taylor factor is applied to x[a] once per row as va/8 — an exact exponent
+// shift for every normal float — with the identical expression in the blocked
+// kernel (kernel.go), so the scalar and blocked paths stay bit-for-bit equal.
 func (LogisticTask) AccumulateRecord(acc *poly.Quadratic, x []float64, y float64) {
 	c := 0.5 - y
 	for a, va := range x {
 		if va != 0 {
+			va8 := va / 8
 			row := acc.M.Row(a)
 			for b := a; b < len(x); b++ {
-				row[b] += va * x[b] / 8
+				row[b] += va8 * x[b]
 			}
 		}
 		acc.Alpha[a] += c * va

@@ -35,15 +35,26 @@ func NewNormalizer(s *Schema) *Normalizer {
 // NormalizeRow maps a raw feature vector into the unit sphere. The result is
 // a new slice.
 func (nz *Normalizer) NormalizeRow(x []float64) []float64 {
+	out := make([]float64, len(x))
+	nz.NormalizeRowInto(out, x)
+	return out
+}
+
+// NormalizeRowInto is NormalizeRow writing into dst (len D()) instead of
+// allocating — the per-record primitive of the flat ingest and fit-prep
+// paths, which normalize whole batches into pooled or pre-sized flat storage.
+// dst and x may alias.
+func (nz *Normalizer) NormalizeRowInto(dst, x []float64) {
 	if len(x) != nz.schema.D() {
 		panic(fmt.Sprintf("dataset: NormalizeRow with %d features, schema has %d", len(x), nz.schema.D()))
 	}
-	out := make([]float64, len(x))
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("dataset: NormalizeRowInto dst has %d entries, want %d", len(dst), len(x)))
+	}
 	for j, a := range nz.schema.Features {
 		v := clamp(x[j], a.Min, a.Max)
-		out[j] = (v - a.Min) / (a.Width() * nz.sqrtD)
+		dst[j] = (v - a.Min) / (a.Width() * nz.sqrtD)
 	}
-	return out
 }
 
 // NormalizeLabel maps a raw target value into [−1, 1].
@@ -65,7 +76,7 @@ func (nz *Normalizer) DenormalizeLabel(y float64) float64 {
 func (nz *Normalizer) NormalizeForLinear(ds *Dataset) *Dataset {
 	out := NewWithCapacity(nz.normalizedSchema(Attribute{Name: ds.Schema.Target.Name, Min: -1, Max: 1}), ds.N())
 	for i := 0; i < ds.N(); i++ {
-		out.Append(nz.NormalizeRow(ds.Row(i)), nz.NormalizeLabel(ds.Label(i)))
+		nz.NormalizeRowInto(out.AppendAlloc(nz.NormalizeLabel(ds.Label(i))), ds.Row(i))
 	}
 	return out
 }
@@ -80,7 +91,7 @@ func (nz *Normalizer) NormalizeForLogistic(ds *Dataset) (*Dataset, error) {
 		if y != 0 && y != 1 {
 			return nil, fmt.Errorf("dataset: logistic target must be boolean, record %d has y=%v", i, y)
 		}
-		out.Append(nz.NormalizeRow(ds.Row(i)), y)
+		nz.NormalizeRowInto(out.AppendAlloc(y), ds.Row(i))
 	}
 	return out, nil
 }

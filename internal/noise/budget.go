@@ -47,6 +47,23 @@ func (b *Budget) Spend(eps float64) error {
 	return nil
 }
 
+// RestoreSpent sets the consumed budget to spent, replacing the current
+// value — the restart-recovery path for a serving layer that persists its
+// accountants: a process that rebuilt its state from a snapshot restores the
+// tenant's lifetime spend before serving, so a restart can never reset
+// privacy accounting. The value must lie in [0, Total] (round-off slack
+// forgiven).
+func (b *Budget) RestoreSpent(spent float64) error {
+	const slack = 1e-12
+	if spent < 0 || spent > b.total+slack {
+		return fmt.Errorf("noise: restored spend %v outside [0, %v]", spent, b.total)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spent = spent
+	return nil
+}
+
 // Remaining returns the unspent budget.
 func (b *Budget) Remaining() float64 {
 	b.mu.Lock()

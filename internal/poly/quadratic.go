@@ -29,12 +29,19 @@ func (q *Quadratic) Eval(w []float64) float64 {
 	return q.M.QuadraticForm(w) + linalg.Dot(q.Alpha, w) + q.Beta
 }
 
-// Gradient returns ∇f(ω) = (M+Mᵀ)ω + α, which is 2Mω+α for symmetric M.
+// Gradient returns ∇f(ω) = 2Mω + α. M is symmetric by construction
+// everywhere a Quadratic is built — the accumulator mirrors its upper
+// triangle at finalize, Perturb splits cross-term noise across both mirrored
+// entries, and QuadraticFromPolynomial splits cross-term coefficients evenly
+// — so the general form (M+Mᵀ)ω collapses to 2Mω and a single matrix-vector
+// product instead of the previous MulVec+TMulVec pair. (The built-in solves
+// go through the Cholesky closed form, not this gradient; the halved cost
+// matters for callers that iterate, e.g. a gradient-descent solve over a
+// dense quadratic.)
 func (q *Quadratic) Gradient(w []float64) []float64 {
 	g := q.M.MulVec(w)
-	gt := q.M.TMulVec(w)
 	for i := range g {
-		g[i] += gt[i] + q.Alpha[i]
+		g[i] = 2*g[i] + q.Alpha[i]
 	}
 	return g
 }

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"funcmech"
+)
+
+// Durable tenant budget accounting. A tenant's ε-budget is a lifetime
+// commitment over the data, so the Session accountants must survive process
+// restarts: without persistence, a restart would silently reset every
+// tenant's spend to zero while the stream state (and therefore the data's
+// exposure) survives via -snapshot-dir. This file persists the accountants
+// alongside the stream snapshots — one atomically-replaced tenants.json —
+// and restores them on boot.
+//
+// The accounting is as durable as the snapshot cadence: ε spent after the
+// last snapshot and before a crash is lost (a graceful drain always writes a
+// final snapshot, so only hard kills lose anything). That under-counts
+// spend, which errs against the privacy guarantee rather than against the
+// tenant; closing the gap entirely would take a write-ahead log per fit,
+// which the ROADMAP can take up if hard-kill recovery ever matters.
+
+// tenantBudget is one tenant's persisted accountant state.
+type tenantBudget struct {
+	Name  string  `json:"name"`
+	Total float64 `json:"total"`
+	Spent float64 `json:"spent"`
+}
+
+// budgetsEnvelope is the on-disk format, following the repo's envelope
+// conventions (kind + version gate, JSON).
+type budgetsEnvelope struct {
+	Kind    string         `json:"kind"` // "tenant-budgets"
+	Tenants []tenantBudget `json:"tenants"`
+	SavedAt time.Time      `json:"saved_at"`
+	Version int            `json:"version"`
+}
+
+const (
+	budgetsKind    = "tenant-budgets"
+	budgetsVersion = 1
+	// BudgetsFile is the snapshot-directory file name holding the tenant
+	// accountants, next to the *.stream.json stream snapshots.
+	BudgetsFile = "tenants.json"
+)
+
+// WriteBudgets serializes every tenant's accountant state.
+func (ts *Tenants) WriteBudgets(w io.Writer) error {
+	env := budgetsEnvelope{
+		Kind:    budgetsKind,
+		SavedAt: time.Now().UTC(),
+		Version: budgetsVersion,
+	}
+	for _, t := range ts.All() {
+		env.Tenants = append(env.Tenants, tenantBudget{
+			Name:  t.Name,
+			Total: t.Session.Total(),
+			Spent: t.Session.Spent(),
+		})
+	}
+	return json.NewEncoder(w).Encode(env)
+}
+
+// ReadBudgets restores tenant accountants from WriteBudgets output into the
+// directory: missing tenants are created with their persisted total, already
+// registered tenants (e.g. from -tenant flags processed before the restore)
+// get their spend restored — the persisted spend is authoritative, because
+// accounting is a lifetime property of the data. It returns how many tenants
+// were restored. Version mismatches surface funcmech.ErrVersionMismatch.
+func (ts *Tenants) ReadBudgets(r io.Reader) (int, error) {
+	var env budgetsEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return 0, fmt.Errorf("serve: decoding tenant budgets: %w", err)
+	}
+	if env.Kind != budgetsKind {
+		return 0, fmt.Errorf("serve: tenant budgets kind %q, want %q", env.Kind, budgetsKind)
+	}
+	if env.Version != budgetsVersion {
+		return 0, fmt.Errorf("%w: tenant budgets version %d, want %d",
+			funcmech.ErrVersionMismatch, env.Version, budgetsVersion)
+	}
+	restored := 0
+	for _, tb := range env.Tenants {
+		t, ok := ts.Lookup(tb.Name)
+		if !ok {
+			var err error
+			if t, err = ts.Create(tb.Name, tb.Total); err != nil {
+				return restored, fmt.Errorf("serve: restoring tenant %q: %w", tb.Name, err)
+			}
+		} else if t.Session.Total() != tb.Total {
+			return restored, fmt.Errorf("serve: tenant %q budget %v disagrees with persisted lifetime budget %v",
+				tb.Name, t.Session.Total(), tb.Total)
+		}
+		if err := t.Session.RestoreSpent(tb.Spent); err != nil {
+			return restored, fmt.Errorf("serve: restoring tenant %q: %w", tb.Name, err)
+		}
+		restored++
+	}
+	return restored, nil
+}
+
+// SaveBudgets writes the tenant accountants to dir/tenants.json atomically
+// (temp file, fsync, rename), mirroring the stream snapshot discipline.
+func (ts *Tenants) SaveBudgets(dir string) error {
+	target := filepath.Join(dir, BudgetsFile)
+	tmp, err := os.CreateTemp(dir, BudgetsFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := ts.WriteBudgets(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), target); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// LoadBudgets restores tenant accountants from dir/tenants.json. A missing
+// file is not an error (first boot); it returns how many tenants were
+// restored.
+func (ts *Tenants) LoadBudgets(dir string) (int, error) {
+	f, err := os.Open(filepath.Join(dir, BudgetsFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("serve: %w", err)
+	}
+	defer f.Close()
+	return ts.ReadBudgets(f)
+}

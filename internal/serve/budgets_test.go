@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"funcmech"
+)
+
+func TestBudgetsRoundTrip(t *testing.T) {
+	ts := NewTenants()
+	a, err := ts.Create("acme", 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Create("idle", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Session.RestoreSpent(0.75); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := ts.SaveBudgets(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh directory, nothing pre-registered: both tenants come back with
+	// total and spend intact.
+	back := NewTenants()
+	n, err := back.LoadBudgets(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d tenants, want 2", n)
+	}
+	got, ok := back.Lookup("acme")
+	if !ok {
+		t.Fatal("tenant acme not restored")
+	}
+	if got.Session.Total() != 2.0 || math.Abs(got.Session.Spent()-0.75) > 1e-15 {
+		t.Fatalf("restored total=%v spent=%v, want 2.0/0.75", got.Session.Total(), got.Session.Spent())
+	}
+
+	// The restored accountant keeps enforcing the lifetime budget: the
+	// charge happens before any data is touched, so a nil dataset is fine.
+	if _, _, err := got.Session.LinearRegression(nil, 1.5); !errors.Is(err, funcmech.ErrBudgetExhausted) {
+		t.Fatalf("over-budget fit after restore: err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetsRestoreIntoExistingTenant(t *testing.T) {
+	ts := NewTenants()
+	a, _ := ts.Create("acme", 2.0)
+	_ = a.Session.RestoreSpent(1.25)
+	var buf bytes.Buffer
+	if err := ts.WriteBudgets(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A flag-created tenant with the same budget gets its spend restored...
+	back := NewTenants()
+	if _, err := back.Create("acme", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.ReadBudgets(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := back.Lookup("acme")
+	if got.Session.Spent() != 1.25 {
+		t.Fatalf("spent = %v, want 1.25", got.Session.Spent())
+	}
+
+	// ...but a conflicting lifetime budget is an error, never a silent reset.
+	conflicted := NewTenants()
+	if _, err := conflicted.Create("acme", 5.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conflicted.ReadBudgets(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("conflicting budget: expected error")
+	}
+}
+
+func TestBudgetsLoadMissingFileIsFirstBoot(t *testing.T) {
+	ts := NewTenants()
+	n, err := ts.LoadBudgets(t.TempDir())
+	if err != nil || n != 0 {
+		t.Fatalf("missing file: n=%d err=%v, want 0/nil", n, err)
+	}
+}
+
+func TestBudgetsVersionMismatchTyped(t *testing.T) {
+	ts := NewTenants()
+	if _, err := ts.ReadBudgets(strings.NewReader(`{"kind":"tenant-budgets","version":99,"tenants":[]}`)); !errors.Is(err, funcmech.ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	if _, err := ts.ReadBudgets(strings.NewReader(`{"kind":"other","version":1}`)); err == nil {
+		t.Fatal("wrong kind: expected error")
+	}
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// The ingest endpoint is the service's highest-volume path, and with the
+// stream fold now operating on flat row-major batches, the generic
+// encoding/json decode of [][]float64 — one heap slice per record — was the
+// last per-record allocator between the wire and the objective kernel. This
+// scanner parses the rows array straight into a pooled flat []float64: no
+// per-record slices, no boxed tokens, steady-state zero allocations per
+// batch. It accepts exactly the JSON shape the endpoint documents (an array
+// of fixed-width numeric arrays) and rejects anything else with a row-level
+// error.
+
+// ingestBufPool recycles flat decode buffers across ingest requests.
+var ingestBufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// numberChars marks bytes that can appear inside a JSON number literal.
+var numberChars = [256]bool{
+	'0': true, '1': true, '2': true, '3': true, '4': true,
+	'5': true, '6': true, '7': true, '8': true, '9': true,
+	'-': true, '+': true, '.': true, 'e': true, 'E': true,
+}
+
+func isJSONSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// isJSONNumber reports whether tok matches RFC 8259's number grammar:
+// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+func isJSONNumber(tok []byte) bool {
+	i, n := 0, len(tok)
+	if i < n && tok[i] == '-' {
+		i++
+	}
+	switch {
+	case i < n && tok[i] == '0':
+		i++
+	case i < n && tok[i] >= '1' && tok[i] <= '9':
+		for i < n && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < n && tok[i] == '.' {
+		i++
+		if i >= n || tok[i] < '0' || tok[i] > '9' {
+			return false
+		}
+		for i < n && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	}
+	if i < n && (tok[i] == 'e' || tok[i] == 'E') {
+		i++
+		if i < n && (tok[i] == '+' || tok[i] == '-') {
+			i++
+		}
+		if i >= n || tok[i] < '0' || tok[i] > '9' {
+			return false
+		}
+		for i < n && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	}
+	return i == n
+}
+
+// parseFlatRows parses a JSON array of numeric arrays, each of width want,
+// appending the values to dst in row-major order. A missing, null or empty
+// array yields an empty result (the stream layer rejects empty batches with
+// its own error). Numbers decode with strconv.ParseFloat — the same routine
+// encoding/json uses — so the values are bit-identical to a generic decode.
+func parseFlatRows(raw []byte, want int, dst []float64) ([]float64, error) {
+	i := 0
+	skipWS := func() {
+		for i < len(raw) && isJSONSpace(raw[i]) {
+			i++
+		}
+	}
+	skipWS()
+	if i == len(raw) {
+		return dst, nil
+	}
+	if string(raw[i:]) == "null" {
+		return dst, nil
+	}
+	if raw[i] != '[' {
+		return dst, fmt.Errorf("rows must be an array of arrays")
+	}
+	i++
+	skipWS()
+	if i < len(raw) && raw[i] == ']' {
+		i++
+		skipWS()
+		if i != len(raw) {
+			return dst, fmt.Errorf("trailing data after rows array")
+		}
+		return dst, nil
+	}
+	for row := 0; ; row++ {
+		skipWS()
+		if i >= len(raw) || raw[i] != '[' {
+			return dst, fmt.Errorf("row %d: expected an array of numbers", row)
+		}
+		i++
+		cols := 0
+		for {
+			skipWS()
+			start := i
+			for i < len(raw) && numberChars[raw[i]] {
+				i++
+			}
+			if i == start {
+				return dst, fmt.Errorf("row %d: expected a number at column %d", row, cols)
+			}
+			// strconv is laxer than the JSON grammar (leading zeros, bare or
+			// trailing dots, leading '+'); enforce RFC 8259 number syntax so
+			// this endpoint rejects exactly what encoding/json rejects.
+			if !isJSONNumber(raw[start:i]) {
+				return dst, fmt.Errorf("row %d: invalid number at column %d", row, cols)
+			}
+			v, err := strconv.ParseFloat(string(raw[start:i]), 64)
+			if err != nil {
+				return dst, fmt.Errorf("row %d: invalid number at column %d", row, cols)
+			}
+			dst = append(dst, v)
+			cols++
+			skipWS()
+			if i >= len(raw) {
+				return dst, fmt.Errorf("row %d: unterminated array", row)
+			}
+			if raw[i] == ',' {
+				i++
+				continue
+			}
+			if raw[i] == ']' {
+				i++
+				break
+			}
+			return dst, fmt.Errorf("row %d: unexpected character %q", row, raw[i])
+		}
+		if cols != want {
+			return dst, fmt.Errorf("row %d has %d values, want %d features + target", row, cols, want)
+		}
+		skipWS()
+		if i >= len(raw) {
+			return dst, fmt.Errorf("unterminated rows array")
+		}
+		if raw[i] == ',' {
+			i++
+			continue
+		}
+		if raw[i] == ']' {
+			i++
+			break
+		}
+		return dst, fmt.Errorf("unexpected character %q after row %d", raw[i], row)
+	}
+	skipWS()
+	if i != len(raw) {
+		return dst, fmt.Errorf("trailing data after rows array")
+	}
+	return dst, nil
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestParseFlatRowsMatchesEncodingJSON: for random batches round-tripped
+// through encoding/json, the pooled flat parser must recover bit-identical
+// values in row-major order.
+func TestParseFlatRowsMatchesEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 50; round++ {
+		n, w := 1+rng.Intn(40), 1+rng.Intn(6)
+		rows := make([][]float64, n)
+		want := make([]float64, 0, n*w)
+		for i := range rows {
+			rows[i] = make([]float64, w)
+			for j := range rows[i] {
+				v := (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+				rows[i][j] = v
+				want = append(want, v)
+			}
+		}
+		raw, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parseFlatRows(raw, w, nil)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d values, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("round %d value %d: %v != %v (want bit-identical)", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParseFlatRowsAcceptsJSONShapes(t *testing.T) {
+	for _, tc := range []struct {
+		raw  string
+		want []float64
+	}{
+		{``, nil},
+		{`null`, nil},
+		{`[]`, nil},
+		{` [ [ 1 , 2.5 ] , [ -3e2 , 0.125 ] ] `, []float64{1, 2.5, -300, 0.125}},
+		{"[[1,2],\n[3,4]]", []float64{1, 2, 3, 4}},
+	} {
+		got, err := parseFlatRows([]byte(tc.raw), 2, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.raw, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) && len(got)+len(tc.want) > 0 {
+			t.Fatalf("%q: got %v, want %v", tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestParseFlatRowsRejectsMalformedInput(t *testing.T) {
+	for _, raw := range []string{
+		`{"a":1}`,          // not an array
+		`[1,2]`,            // rows must be arrays
+		`[[1,2],[3]]`,      // ragged row
+		`[[1,2,3]]`,        // too wide
+		`[["x",2]]`,        // non-number
+		`[[null,2]]`,       // null value
+		`[[+1,2]]`,         // leading plus is not JSON
+		`[[.5,2]]`,         // bare dot is not JSON
+		`[[1,2]`,           // unterminated outer
+		`[[1,2],]`,         // trailing comma
+		`[[1,2]] extra`,    // trailing garbage
+		`[[1e,2]]`,         // broken exponent
+		`[[1,2],"oops"]`,   // non-array row
+		`[[NaN,2]]`,        // NaN literal is not JSON
+		`[[Infinity,2]]`,   // Infinity literal is not JSON
+		`[[1 2]]`,          // missing comma
+		`[[1,,2]]`,         // double comma
+		`[[0x1F,2]]`,       // hex is not JSON
+		`[[1_000,2]]`,      // underscores are not JSON
+		`[[01,2]]`,         // leading zero is not JSON
+		`[[1.,2]]`,         // trailing dot is not JSON
+		`[[1.e5,2]]`,       // empty fraction is not JSON
+		`[[-,2]]`,          // bare sign
+		`[[1e+,2]]`,        // empty exponent digits
+		`[[1,2]][[3,4]]`,   // second array after close
+		`[[12345678,2],3]`, // scalar after row
+	} {
+		if _, err := parseFlatRows([]byte(raw), 2, nil); err == nil {
+			t.Errorf("%q: expected error", raw)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"net/http"
 	"time"
@@ -105,8 +106,10 @@ func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
 type ingestRequest struct {
 	// Rows are raw records: the feature vector in schema order with the
 	// target appended. Out-of-bounds values clamp to the schema's public
-	// bounds; NaN anywhere rejects the whole batch.
-	Rows [][]float64 `json:"rows"`
+	// bounds; NaN anywhere rejects the whole batch. Kept raw here and parsed
+	// by the pooled flat decoder (ingestdecode.go), so the hot ingest path
+	// allocates no per-record slices.
+	Rows json.RawMessage `json:"rows"`
 }
 
 type ingestResponse struct {
@@ -126,13 +129,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	bufp := ingestBufPool.Get().(*[]float64)
+	defer ingestBufPool.Put(bufp)
+	flat, err := parseFlatRows(req.Rows, len(st.Config().Schema.Features)+1, (*bufp)[:0])
+	*bufp = flat // keep the grown capacity for the next request
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q: %v", st.Name(), err)
+		return
+	}
 
 	// The fold is the ingest path's O(batch·d²) CPU cost; draw one worker
 	// from the global governor so heavy ingest traffic and in-flight fits
 	// share the same capacity instead of oversubscribing the machine. The
 	// draw happens inside the gate — after the shard lock is held — so a
 	// batch queued behind another batch does not sit on global capacity.
-	accepted, err := st.IngestGated(req.Rows, func() func() {
+	accepted, err := st.IngestFlatGated(flat, func() func() {
 		_, release := s.governor.Acquire(1)
 		return release
 	})

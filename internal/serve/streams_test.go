@@ -1,11 +1,23 @@
 package serve
 
 import (
+	"encoding/json"
 	"math/rand"
 	"net/http"
 	"sync"
 	"testing"
 )
+
+// rowsJSON marshals rows the way clients send them; ingestRequest keeps the
+// field raw for the pooled flat decoder.
+func rowsJSON(t *testing.T, rows [][]float64) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
 
 func testStreamSchema() *schemaJSON {
 	return &schemaJSON{
@@ -59,7 +71,7 @@ func TestStreamLifecycleOverHTTP(t *testing.T) {
 	// Ingest two batches.
 	rows := syntheticRows(120, 1)
 	for _, cut := range [][2]int{{0, 50}, {50, 120}} {
-		resp := postJSON(t, ts.URL+"/v1/streams/readings/ingest", ingestRequest{Rows: rows[cut[0]:cut[1]]})
+		resp := postJSON(t, ts.URL+"/v1/streams/readings/ingest", ingestRequest{Rows: rowsJSON(t, rows[cut[0]:cut[1]])})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("ingest: status %d", resp.StatusCode)
 		}
@@ -134,7 +146,7 @@ func TestRefitBitIdenticalToFitOverHTTP(t *testing.T) {
 	// Path 2: stream ingest (odd batch sizes) + refit.
 	createStream(t, ts.URL, streamRequest{Name: "live", Schema: testStreamSchema(), Intercept: true})
 	for _, cut := range [][2]int{{0, 37}, {37, 201}, {201, 400}} {
-		resp := postJSON(t, ts.URL+"/v1/streams/live/ingest", ingestRequest{Rows: rows[cut[0]:cut[1]]})
+		resp := postJSON(t, ts.URL+"/v1/streams/live/ingest", ingestRequest{Rows: rowsJSON(t, rows[cut[0]:cut[1]])})
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("ingest: status %d", resp.StatusCode)
@@ -173,7 +185,7 @@ func TestConcurrentIngestOverHTTP(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			resp := postJSON(t, ts.URL+"/v1/streams/burst/ingest",
-				ingestRequest{Rows: syntheticRows(perBatch, int64(100+c))})
+				ingestRequest{Rows: rowsJSON(t, syntheticRows(perBatch, int64(100+c)))})
 			defer resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
 				t.Errorf("client %d: status %d", c, resp.StatusCode)
@@ -195,7 +207,7 @@ func TestRefitBudgetExhaustionTyped(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	createTenant(t, ts.URL, "small", 1)
 	createStream(t, ts.URL, streamRequest{Name: "s", Schema: testStreamSchema()})
-	resp := postJSON(t, ts.URL+"/v1/streams/s/ingest", ingestRequest{Rows: syntheticRows(50, 3)})
+	resp := postJSON(t, ts.URL+"/v1/streams/s/ingest", ingestRequest{Rows: rowsJSON(t, syntheticRows(50, 3))})
 	resp.Body.Close()
 
 	ok := postJSON(t, ts.URL+"/v1/streams/s/refit", refitRequest{Tenant: "small", Model: "linear", Epsilon: 1})
@@ -217,7 +229,7 @@ func TestRefitRejectsFitTimeFoldOptions(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	createTenant(t, ts.URL, "acme", 5)
 	createStream(t, ts.URL, streamRequest{Name: "s", Schema: testStreamSchema()})
-	resp := postJSON(t, ts.URL+"/v1/streams/s/ingest", ingestRequest{Rows: syntheticRows(30, 4)})
+	resp := postJSON(t, ts.URL+"/v1/streams/s/ingest", ingestRequest{Rows: rowsJSON(t, syntheticRows(30, 4))})
 	resp.Body.Close()
 
 	// intercept is fixed at stream creation; the refit options schema
@@ -249,13 +261,13 @@ func TestIngestValidationOverHTTP(t *testing.T) {
 		"empty":  {},
 		"ragged": {{1, 2, 3}, {1, 2}},
 	} {
-		resp := postJSON(t, ts.URL+"/v1/streams/v/ingest", ingestRequest{Rows: rows})
+		resp := postJSON(t, ts.URL+"/v1/streams/v/ingest", ingestRequest{Rows: rowsJSON(t, rows)})
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
 		}
 	}
-	missing := postJSON(t, ts.URL+"/v1/streams/nope/ingest", ingestRequest{Rows: syntheticRows(5, 5)})
+	missing := postJSON(t, ts.URL+"/v1/streams/nope/ingest", ingestRequest{Rows: rowsJSON(t, syntheticRows(5, 5))})
 	missing.Body.Close()
 	if missing.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown stream: status %d, want 404", missing.StatusCode)

@@ -195,6 +195,11 @@ func (s *Stream) refitState() (uint64, *RefitInfo) {
 	return s.refits, s.lastRefit
 }
 
+// flattenPool recycles the scratch buffer Ingest uses to re-shape a
+// [][]float64 batch into flat row-major form before handing it to the flat
+// fold — one bulk copy instead of per-record slice traffic.
+var flattenPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // Ingest folds a batch of rows — each a feature vector in schema order with
 // the target appended — into one shard. The batch is all-or-nothing: every
 // row is validated (arity, NaN) before any is folded, so a rejected batch
@@ -213,21 +218,48 @@ func (s *Stream) Ingest(rows [][]float64) (int, error) {
 // hold global worker capacity while idle-blocked behind another batch. A nil
 // gate means no admission control.
 func (s *Stream) IngestGated(rows [][]float64, gate func() (release func())) (int, error) {
-	if len(rows) == 0 {
-		return 0, fmt.Errorf("stream %q: empty ingest batch", s.name)
-	}
 	want := len(s.cfg.Schema.Features) + 1
 	for i, row := range rows {
 		if len(row) != want {
 			return 0, fmt.Errorf("stream %q: row %d has %d values, want %d features + target",
 				s.name, i, len(row), want)
 		}
-		for j, v := range row {
-			if math.IsNaN(v) { // NaN would poison the sums irreversibly
-				return 0, fmt.Errorf("stream %q: row %d column %d is NaN", s.name, i, j)
-			}
+	}
+	bufp := flattenPool.Get().(*[]float64)
+	defer flattenPool.Put(bufp)
+	flat := (*bufp)[:0]
+	for _, row := range rows {
+		flat = append(flat, row...)
+	}
+	*bufp = flat
+	return s.IngestFlatGated(flat, gate)
+}
+
+// IngestFlat is Ingest over flat row-major storage: each record is its
+// feature vector in schema order with the target appended, so the row width
+// is features+1. This is the zero-copy path the serving layer's JSON decoder
+// feeds; the flat batch flows straight into the blocked objective kernel
+// with no per-record slice allocations anywhere.
+func (s *Stream) IngestFlat(flat []float64) (int, error) {
+	return s.IngestFlatGated(flat, nil)
+}
+
+// IngestFlatGated is IngestFlat with the admission gate of IngestGated.
+func (s *Stream) IngestFlatGated(flat []float64, gate func() (release func())) (int, error) {
+	want := len(s.cfg.Schema.Features) + 1
+	if len(flat) == 0 {
+		return 0, fmt.Errorf("stream %q: empty ingest batch", s.name)
+	}
+	if len(flat)%want != 0 {
+		return 0, fmt.Errorf("stream %q: flat batch of %d values is not a multiple of %d features + target",
+			s.name, len(flat), want)
+	}
+	for i, v := range flat {
+		if math.IsNaN(v) { // NaN would poison the sums irreversibly
+			return 0, fmt.Errorf("stream %q: row %d column %d is NaN", s.name, i/want, i%want)
 		}
 	}
+	rows := len(flat) / want
 
 	sh := s.shards[s.cursor.Add(1)%uint64(len(s.shards))]
 	sh.mu.Lock()
@@ -235,14 +267,12 @@ func (s *Stream) IngestGated(rows [][]float64, gate func() (release func())) (in
 	if gate != nil {
 		release = gate()
 	}
-	for _, row := range rows {
-		if err := sh.acc.Add(row[:want-1], row[want-1]); err != nil {
-			// Unreachable given the pre-validation above; surface loudly
-			// rather than silently dropping part of a batch.
-			release()
-			sh.mu.Unlock()
-			return 0, fmt.Errorf("stream %q: %v (batch partially applied — this is a bug)", s.name, err)
-		}
+	if _, err := sh.acc.AddFlat(flat); err != nil {
+		// Unreachable given the pre-validation above (AddFlat is itself
+		// all-or-nothing); surface loudly rather than dropping a batch.
+		release()
+		sh.mu.Unlock()
+		return 0, fmt.Errorf("stream %q: %v (batch rejected)", s.name, err)
 	}
 	sh.batches++
 	release()
@@ -251,10 +281,10 @@ func (s *Stream) IngestGated(rows [][]float64, gate func() (release func())) (in
 	// Gauge update outside the shard lock: monitoring readers take only
 	// countMu, which is never held across a fold.
 	s.countMu.Lock()
-	s.records += uint64(len(rows))
+	s.records += uint64(rows)
 	s.batches++
 	s.countMu.Unlock()
-	return len(rows), nil
+	return rows, nil
 }
 
 // Merged returns a consistent merged view of the live accumulators: each

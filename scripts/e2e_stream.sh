@@ -118,6 +118,7 @@ wait "$SERVER_PID" || drain_status=$?
 SERVER_PID=""
 [ "$drain_status" = 0 ] || fail "server exited $drain_status on SIGTERM"
 ls "$SNAPDIR"/readings.stream.json >/dev/null 2>&1 || fail "no snapshot file written: $(ls -la "$SNAPDIR" 2>&1)"
+ls "$SNAPDIR"/tenants.json >/dev/null 2>&1 || fail "no tenant-budget snapshot written: $(ls -la "$SNAPDIR" 2>&1)"
 
 echo "e2e-stream: restarting from snapshot"
 start_server
@@ -134,10 +135,18 @@ curl -fsS "$BASE/v1/stats" >"$WORKDIR/stats2.json" || fail "post-restart stats u
 [ "$(jq '.ingest.records_total' "$WORKDIR/stats2.json")" = 450 ] \
   || fail "post-restart ingest.records_total = $(jq '.ingest.records_total' "$WORKDIR/stats2.json"), want 450"
 
-echo "e2e-stream: refit after restart must be bit-identical at the same seed"
-code=$(curl -s -o "$WORKDIR/tenant2.json" -w '%{http_code}' -X POST "$BASE/v1/tenants" \
+echo "e2e-stream: tenant lifetime ε-spend must survive the restart"
+curl -fsS "$BASE/v1/tenants/acme" >"$WORKDIR/tenant2.json" || fail "tenant not restored from snapshot"
+spent=$(jq '.epsilon_spent' "$WORKDIR/tenant2.json")
+total=$(jq '.epsilon_total' "$WORKDIR/tenant2.json")
+[ "$spent" = 1 ] || fail "post-restart epsilon_spent = $spent, want 1 (restart reset the accounting)"
+[ "$total" = 4 ] || fail "post-restart epsilon_total = $total, want 4"
+# Re-declaring the restored tenant must conflict, never reset its accounting.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/tenants" \
   -H 'Content-Type: application/json' -d '{"name":"acme","budget":4.0}')
-[ "$code" = 201 ] || fail "tenant re-creation returned $code: $(cat "$WORKDIR/tenant2.json")"
+[ "$code" = 409 ] || fail "re-creating restored tenant returned $code, want 409"
+
+echo "e2e-stream: refit after restart must be bit-identical at the same seed"
 code=$(curl -s -o "$WORKDIR/refit2.json" -w '%{http_code}' -X POST "$BASE/v1/streams/readings/refit" \
   -H 'Content-Type: application/json' -d "$refit_body")
 [ "$code" = 200 ] || fail "post-restart refit returned $code: $(cat "$WORKDIR/refit2.json")"

@@ -130,6 +130,16 @@ type accumulatorEnvelope struct {
 
 const accumulatorKind = "accumulator"
 
+// Accumulator envelope versions. Version 2 stores the coefficient matrices
+// as packed upper triangles (d(d+1)/2 values) instead of full d×d matrices
+// whose lower halves were structurally zero — almost halving snapshot files.
+// Version-1 envelopes (full matrices) still decode; anything else fails with
+// ErrVersionMismatch.
+const (
+	accumulatorVersion       = 2
+	accumulatorVersionLegacy = 1
+)
+
 // Save writes the accumulator's full state as JSON; LoadAccumulator inverts
 // it. See accumulatorEnvelope for the sensitivity caveat.
 func (a *Accumulator) Save(w io.Writer) error {
@@ -140,7 +150,7 @@ func (a *Accumulator) Save(w io.Writer) error {
 		Threshold: a.threshold,
 		Linear:    a.linear.State(),
 		Logistic:  a.logistic.State(),
-		Version:   envelopeVersion,
+		Version:   accumulatorVersion,
 	}
 	if a.logisticErr != nil {
 		env.LogisticError = a.logisticErr.Error()
@@ -159,8 +169,9 @@ func LoadAccumulator(r io.Reader) (*Accumulator, error) {
 	if env.Kind != accumulatorKind {
 		return nil, fmt.Errorf("funcmech: envelope kind %q, want %q", env.Kind, accumulatorKind)
 	}
-	if env.Version != envelopeVersion {
-		return nil, fmt.Errorf("%w: accumulator envelope version %d, want %d", ErrVersionMismatch, env.Version, envelopeVersion)
+	if env.Version != accumulatorVersion && env.Version != accumulatorVersionLegacy {
+		return nil, fmt.Errorf("%w: accumulator envelope version %d, want %d (or legacy %d)",
+			ErrVersionMismatch, env.Version, accumulatorVersion, accumulatorVersionLegacy)
 	}
 	opts := []Option{}
 	if env.Intercept {

@@ -41,6 +41,14 @@ func NewSession(totalEpsilon float64) *Session {
 	return &Session{budget: noise.NewBudget(totalEpsilon)}
 }
 
+// RestoreSpent sets the session's consumed budget, replacing the current
+// value. It exists for serving layers that persist per-tenant accountants
+// and restore them on boot (see internal/serve): differential privacy's
+// sequential composition is a lifetime property of the data, so a tenant's
+// ε-spend must survive process restarts even though the Session itself is
+// in-memory. The value must lie in [0, Total()].
+func (s *Session) RestoreSpent(spent float64) error { return s.budget.RestoreSpent(spent) }
+
 // Remaining returns the unspent budget.
 func (s *Session) Remaining() float64 { return s.budget.Remaining() }
 
