@@ -14,11 +14,20 @@
 // shutdown — and restored on boot, so a restarted server refits without
 // re-ingesting a single record.
 //
+// With -wal-dir the privacy accounting is crash-safe: every budget debit is
+// appended to a write-ahead log (fsynced per commit unless -wal-fsync=false)
+// before any noise is drawn, and boot replays the journal after restoring
+// the snapshots — load tenants.json, replay the live segments, then apply
+// -tenant flags — so a kill -9 can only ever over-count a tenant's lifetime
+// ε-spend, never under-count it. Snapshot passes fold the journal into
+// tenants.json and compact the covered segments, keeping the log bounded.
+//
 // Usage:
 //
 //	fmserve -addr=:8080 -gen income=us:30000:1 -tenant acme=2.0
 //	fmserve -addr=:8080 -max-fits=4 -worker-cap=8
-//	fmserve -addr=:8080 -snapshot-dir=/var/lib/fmserve -snapshot-every=30s
+//	fmserve -addr=:8080 -snapshot-dir=/var/lib/fmserve -snapshot-every=30s \
+//	        -wal-dir=/var/lib/fmserve/wal
 //
 // Datasets and tenants can also be created at runtime via POST /v1/datasets
 // and POST /v1/tenants. On SIGINT/SIGTERM the server stops accepting
@@ -49,6 +58,7 @@ import (
 	"funcmech"
 	"funcmech/internal/serve"
 	"funcmech/internal/stream"
+	"funcmech/internal/wal"
 )
 
 func main() {
@@ -59,6 +69,8 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight fits")
 		snapshotDir   = flag.String("snapshot-dir", "", "directory for stream snapshots; restored on boot, saved on shutdown (empty = no persistence)")
 		snapshotEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic stream-snapshot interval (0 = only on shutdown; needs -snapshot-dir)")
+		walDir        = flag.String("wal-dir", "", "directory for the ε-accounting write-ahead log; replayed on boot so hard kills never under-count spend (empty = snapshots only)")
+		walFsync      = flag.Bool("wal-fsync", true, "fsync the WAL on every charge; =false trades a crash window of recent charges for lower fit latency")
 		gens          []string
 		tenants       []string
 	)
@@ -83,10 +95,13 @@ func main() {
 		}
 		log.Printf("fmserve: dataset %q registered (%d records × %d features)", name, ds.Len(), ds.NumFeatures())
 	}
-	// Snapshot restore runs before the -tenant flags so persisted lifetime
-	// ε-spend is authoritative: a flag re-declaring a restored tenant must
-	// not reset its accounting.
+	// Boot order is load-bearing for the accounting: restore the snapshots
+	// (streams, then tenants.json — persisted lifetime ε-spend is
+	// authoritative), replay the write-ahead log's live segments over them,
+	// and only then apply the -tenant flags. A flag re-declaring a restored
+	// or replayed tenant must never reset its accounting.
 	var store *stream.Store
+	var budgetsLSN uint64
 	if *snapshotDir != "" {
 		var err error
 		if store, err = stream.NewStore(*snapshotDir); err != nil {
@@ -100,13 +115,34 @@ func main() {
 		srv.SeedIngestStats(records, batches)
 		log.Printf("fmserve: restored %d stream(s) from %s (%d records over %d batches, no re-ingest needed)",
 			n, store.Dir(), records, batches)
-		nt, err := srv.Tenants().LoadBudgets(store.Dir())
+		var nt int
+		nt, budgetsLSN, err = srv.Tenants().LoadBudgets(store.Dir())
 		if err != nil {
 			fatal(fmt.Errorf("fmserve: restoring tenant budgets: %w", err))
 		}
 		if nt > 0 {
-			log.Printf("fmserve: restored %d tenant budget(s) from %s (lifetime ε-spend preserved)", nt, store.Dir())
+			log.Printf("fmserve: restored %d tenant budget(s) from %s (lifetime ε-spend preserved, wal lsn %d covered)",
+				nt, store.Dir(), budgetsLSN)
 		}
+	}
+	var wlog *wal.Log
+	if *walDir != "" {
+		applied, last, err := srv.ReplayWAL(*walDir, budgetsLSN)
+		if err != nil {
+			fatal(fmt.Errorf("fmserve: replaying wal: %w", err))
+		}
+		// The next LSN must clear everything any snapshot claims to cover,
+		// even if compaction emptied the journal itself.
+		floor := max(last, budgetsLSN)
+		for _, st := range srv.Streams().All() {
+			floor = max(floor, st.WALLSN())
+		}
+		if wlog, err = wal.Open(*walDir, wal.Options{Fsync: *walFsync, Floor: floor}); err != nil {
+			fatal(fmt.Errorf("fmserve: opening wal: %w", err))
+		}
+		srv.UseWAL(wlog)
+		log.Printf("fmserve: wal replay applied %d event(s) from %s (last lsn %d, fsync=%v)",
+			applied, *walDir, wlog.LastLSN(), *walFsync)
 	}
 	for _, spec := range tenants {
 		name, budget, err := parseTenant(spec)
@@ -139,6 +175,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// One snapshot pass: read the journal position FIRST, then collect state —
+	// every charge journaled at or below that LSN was already debited, so the
+	// snapshots necessarily fold it in and replay may skip it. Only when the
+	// whole pass persisted does compaction fold the covered segments away.
+	snapshotPass := func() error {
+		var covered uint64
+		if wlog != nil {
+			covered = wlog.LastLSN()
+		}
+		if err := store.SaveAll(srv.Streams(), covered); err != nil {
+			return fmt.Errorf("fmserve: stream snapshot: %w", err)
+		}
+		if err := srv.Tenants().SaveBudgets(store.Dir(), covered); err != nil {
+			return fmt.Errorf("fmserve: tenant-budget snapshot: %w", err)
+		}
+		if wlog != nil {
+			if n, err := wlog.Compact(covered); err != nil {
+				log.Printf("fmserve: wal compaction failed: %v", err)
+			} else if n > 0 {
+				log.Printf("fmserve: wal compacted %d segment(s) up to lsn %d", n, covered)
+			}
+		}
+		return nil
+	}
+
 	snapDone := make(chan struct{})
 	close(snapDone)
 	if store != nil && *snapshotEvery > 0 {
@@ -152,11 +213,8 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					if err := store.SaveAll(srv.Streams()); err != nil {
+					if err := snapshotPass(); err != nil {
 						log.Printf("fmserve: periodic snapshot failed: %v", err)
-					}
-					if err := srv.Tenants().SaveBudgets(store.Dir()); err != nil {
-						log.Printf("fmserve: periodic tenant-budget snapshot failed: %v", err)
 					}
 				}
 			}
@@ -181,16 +239,20 @@ func main() {
 	}
 	if store != nil {
 		// Final snapshot after the drain, so every ingested batch survives
-		// the restart. Wait out any periodic SaveAll still in flight first —
-		// a stale save finishing later would rename over the final one.
+		// the restart. Wait out any periodic pass still in flight first — a
+		// stale save finishing later would rename over the final one. With
+		// nothing in flight, the pass covers the journal's last LSN exactly,
+		// so the next boot's replay is a no-op (idempotent restart).
 		<-snapDone
-		if err := store.SaveAll(srv.Streams()); err != nil {
+		if err := snapshotPass(); err != nil {
 			fatal(fmt.Errorf("fmserve: final snapshot failed: %w", err))
 		}
-		if err := srv.Tenants().SaveBudgets(store.Dir()); err != nil {
-			fatal(fmt.Errorf("fmserve: final tenant-budget snapshot failed: %w", err))
-		}
 		log.Printf("fmserve: stream snapshots and tenant budgets saved to %s", store.Dir())
+	}
+	if wlog != nil {
+		if err := wlog.Close(); err != nil {
+			fatal(fmt.Errorf("fmserve: closing wal: %w", err))
+		}
 	}
 	log.Printf("fmserve: drained, bye")
 }

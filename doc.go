@@ -69,6 +69,18 @@
 // it) holds raw aggregates and is as sensitive as the records themselves —
 // persist it only in the trust domain that holds the data.
 //
+// # Durability of the accounting
+//
+// A Session's budget is in-memory; serving layers that must survive
+// restarts persist it and put it back with RestoreSpent. For crash safety —
+// where no graceful snapshot ever ran — Charge exposes the debit as its own
+// step so a caller can make it durable (e.g. a write-ahead log) before the
+// mechanism draws noise, and ReplaySpend re-applies journaled debits on
+// boot, clamped at the total. The resulting guarantee is one-sided by
+// design: a crash may over-count ε-spend (a durable debit whose fit never
+// released), never under-count it. See internal/serve and internal/wal for
+// the served implementation.
+//
 // # What the privacy guarantee covers
 //
 // The returned model weights are ε-differentially private with respect to

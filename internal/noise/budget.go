@@ -10,6 +10,11 @@ import (
 // what remains.
 var ErrBudgetExhausted = errors.New("noise: privacy budget exhausted")
 
+// ErrInvalidSpend is returned by Budget.Spend for a request that is not a
+// valid ε amount (non-positive). It is typed so a serving layer can map it to
+// a client error (the request was malformed) instead of a server failure.
+var ErrInvalidSpend = errors.New("noise: invalid spend")
+
 // Budget is a sequential-composition privacy accountant: mechanisms draw
 // portions of a total ε and the accountant guarantees the sum of successful
 // draws never exceeds it. It is safe for concurrent use.
@@ -35,7 +40,7 @@ func NewBudget(eps float64) *Budget {
 // the budget unchanged).
 func (b *Budget) Spend(eps float64) error {
 	if eps <= 0 {
-		return fmt.Errorf("noise: non-positive spend %v", eps)
+		return fmt.Errorf("%w: non-positive spend %v", ErrInvalidSpend, eps)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -62,6 +67,24 @@ func (b *Budget) RestoreSpent(spent float64) error {
 	defer b.mu.Unlock()
 	b.spent = spent
 	return nil
+}
+
+// ReplaySpend adds eps to the consumed budget unconditionally, clamping at
+// the total. It is the crash-recovery path for write-ahead-logged charges:
+// a journaled debit may have raced a snapshot that already folded it in, so
+// re-applying can push the sum past the total — clamping keeps the invariant
+// spent ≤ total while erring on the side of over-counting, which costs
+// utility, never privacy. Non-positive amounts are ignored.
+func (b *Budget) ReplaySpend(eps float64) {
+	if eps <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spent += eps
+	if b.spent > b.total {
+		b.spent = b.total
+	}
 }
 
 // Remaining returns the unspent budget.

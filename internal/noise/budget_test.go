@@ -35,11 +35,46 @@ func TestBudgetOverspendLeavesStateUnchanged(t *testing.T) {
 
 func TestBudgetRejectsNonPositiveSpend(t *testing.T) {
 	b := NewBudget(1)
-	if err := b.Spend(0); err == nil {
-		t.Error("Spend(0) must fail")
+	if err := b.Spend(0); !errors.Is(err, ErrInvalidSpend) {
+		t.Errorf("Spend(0) = %v, want ErrInvalidSpend", err)
 	}
-	if err := b.Spend(-0.1); err == nil {
-		t.Error("Spend(-0.1) must fail")
+	if err := b.Spend(-0.1); !errors.Is(err, ErrInvalidSpend) {
+		t.Errorf("Spend(-0.1) = %v, want ErrInvalidSpend", err)
+	}
+	// The two failure modes stay distinguishable: a malformed amount is not
+	// an exhausted budget, and vice versa.
+	if err := b.Spend(-0.1); errors.Is(err, ErrBudgetExhausted) {
+		t.Error("invalid spend must not read as exhaustion")
+	}
+	if err := b.Spend(2); !errors.Is(err, ErrBudgetExhausted) || errors.Is(err, ErrInvalidSpend) {
+		t.Errorf("overspend = %v, want pure ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetReplaySpend(t *testing.T) {
+	b := NewBudget(1)
+	b.ReplaySpend(0.25)
+	b.ReplaySpend(0.25)
+	if got := b.Spent(); got != 0.5 {
+		t.Fatalf("Spent = %v after two replayed 0.25 charges, want 0.5", got)
+	}
+	// A replayed charge that was also folded into a snapshot can push the sum
+	// past the total; the clamp keeps spent ≤ total (fully exhausted, which
+	// errs against utility, never privacy) instead of erroring a boot.
+	b.ReplaySpend(0.9)
+	if got := b.Spent(); got != 1 {
+		t.Fatalf("Spent = %v after over-replay, want clamp at total 1", got)
+	}
+	if r := b.Remaining(); r != 0 {
+		t.Fatalf("Remaining = %v after over-replay, want 0", r)
+	}
+	// Garbage amounts (a corrupt journal would have failed its CRC anyway)
+	// are ignored, never subtracted.
+	b2 := NewBudget(1)
+	b2.ReplaySpend(-0.5)
+	b2.ReplaySpend(0)
+	if got := b2.Spent(); got != 0 {
+		t.Fatalf("Spent = %v after non-positive replays, want 0", got)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"funcmech"
+	"funcmech/internal/wal"
 )
 
 // Durable tenant budget accounting. A tenant's ε-budget is a lifetime
@@ -19,12 +20,13 @@ import (
 // alongside the stream snapshots — one atomically-replaced tenants.json —
 // and restores them on boot.
 //
-// The accounting is as durable as the snapshot cadence: ε spent after the
-// last snapshot and before a crash is lost (a graceful drain always writes a
-// final snapshot, so only hard kills lose anything). That under-counts
-// spend, which errs against the privacy guarantee rather than against the
-// tenant; closing the gap entirely would take a write-ahead log per fit,
-// which the ROADMAP can take up if hard-kill recovery ever matters.
+// Snapshots alone are only as durable as their cadence: ε spent after the
+// last snapshot and before a hard kill would be forgotten. The write-ahead
+// log (internal/wal) closes that gap — every charge is journaled durably
+// before any noise is drawn, boot replays the journal records the snapshot
+// does not cover (the wal_lsn gate below), and snapshot passes compact the
+// journal they fold in. A crash can therefore only over-count a tenant's
+// lifetime spend, never under-count it.
 
 // tenantBudget is one tenant's persisted accountant state.
 type tenantBudget struct {
@@ -38,8 +40,12 @@ type tenantBudget struct {
 type budgetsEnvelope struct {
 	Kind    string         `json:"kind"` // "tenant-budgets"
 	Tenants []tenantBudget `json:"tenants"`
-	SavedAt time.Time      `json:"saved_at"`
-	Version int            `json:"version"`
+	// WALLSN is the highest write-ahead-log LSN whose charges this snapshot
+	// folds in; replay applies only journal records above it. Absent (0) in
+	// pre-WAL files, which makes replay apply the whole surviving journal.
+	WALLSN  uint64    `json:"wal_lsn,omitempty"`
+	SavedAt time.Time `json:"saved_at"`
+	Version int       `json:"version"`
 }
 
 const (
@@ -50,10 +56,15 @@ const (
 	BudgetsFile = "tenants.json"
 )
 
-// WriteBudgets serializes every tenant's accountant state.
-func (ts *Tenants) WriteBudgets(w io.Writer) error {
+// WriteBudgets serializes every tenant's accountant state. walLSN is the
+// highest write-ahead-log LSN the caller read *before* this call (0 without
+// a WAL): every charge journaled at or below it was debited before its
+// journal record existed, so the spends read here necessarily include it —
+// the ordering that lets replay skip covered records without under-counting.
+func (ts *Tenants) WriteBudgets(w io.Writer, walLSN uint64) error {
 	env := budgetsEnvelope{
 		Kind:    budgetsKind,
+		WALLSN:  walLSN,
 		SavedAt: time.Now().UTC(),
 		Version: budgetsVersion,
 	}
@@ -72,17 +83,19 @@ func (ts *Tenants) WriteBudgets(w io.Writer) error {
 // registered tenants (e.g. from -tenant flags processed before the restore)
 // get their spend restored — the persisted spend is authoritative, because
 // accounting is a lifetime property of the data. It returns how many tenants
-// were restored. Version mismatches surface funcmech.ErrVersionMismatch.
-func (ts *Tenants) ReadBudgets(r io.Reader) (int, error) {
+// were restored along with the write-ahead-log LSN the snapshot covers (the
+// replay gate for journaled charges). Version mismatches surface
+// funcmech.ErrVersionMismatch.
+func (ts *Tenants) ReadBudgets(r io.Reader) (int, uint64, error) {
 	var env budgetsEnvelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return 0, fmt.Errorf("serve: decoding tenant budgets: %w", err)
+		return 0, 0, fmt.Errorf("serve: decoding tenant budgets: %w", err)
 	}
 	if env.Kind != budgetsKind {
-		return 0, fmt.Errorf("serve: tenant budgets kind %q, want %q", env.Kind, budgetsKind)
+		return 0, 0, fmt.Errorf("serve: tenant budgets kind %q, want %q", env.Kind, budgetsKind)
 	}
 	if env.Version != budgetsVersion {
-		return 0, fmt.Errorf("%w: tenant budgets version %d, want %d",
+		return 0, 0, fmt.Errorf("%w: tenant budgets version %d, want %d",
 			funcmech.ErrVersionMismatch, env.Version, budgetsVersion)
 	}
 	restored := 0
@@ -91,56 +104,42 @@ func (ts *Tenants) ReadBudgets(r io.Reader) (int, error) {
 		if !ok {
 			var err error
 			if t, err = ts.Create(tb.Name, tb.Total); err != nil {
-				return restored, fmt.Errorf("serve: restoring tenant %q: %w", tb.Name, err)
+				return restored, env.WALLSN, fmt.Errorf("serve: restoring tenant %q: %w", tb.Name, err)
 			}
 		} else if t.Session.Total() != tb.Total {
-			return restored, fmt.Errorf("serve: tenant %q budget %v disagrees with persisted lifetime budget %v",
+			return restored, env.WALLSN, fmt.Errorf("serve: tenant %q budget %v disagrees with persisted lifetime budget %v",
 				tb.Name, t.Session.Total(), tb.Total)
 		}
 		if err := t.Session.RestoreSpent(tb.Spent); err != nil {
-			return restored, fmt.Errorf("serve: restoring tenant %q: %w", tb.Name, err)
+			return restored, env.WALLSN, fmt.Errorf("serve: restoring tenant %q: %w", tb.Name, err)
 		}
 		restored++
 	}
-	return restored, nil
+	return restored, env.WALLSN, nil
 }
 
 // SaveBudgets writes the tenant accountants to dir/tenants.json atomically
-// (temp file, fsync, rename), mirroring the stream snapshot discipline.
-func (ts *Tenants) SaveBudgets(dir string) error {
-	target := filepath.Join(dir, BudgetsFile)
-	tmp, err := os.CreateTemp(dir, BudgetsFile+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := ts.WriteBudgets(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("serve: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("serve: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), target); err != nil {
-		return fmt.Errorf("serve: %w", err)
-	}
-	return nil
+// and durably (wal.WriteFileAtomic: temp file, fsync, rename, directory
+// fsync — without the last step the rename itself is not durable across
+// power loss), mirroring the stream snapshot discipline. walLSN is the
+// journal position the snapshot covers; see WriteBudgets for the required
+// read ordering.
+func (ts *Tenants) SaveBudgets(dir string, walLSN uint64) error {
+	return wal.WriteFileAtomic(filepath.Join(dir, BudgetsFile), func(w io.Writer) error {
+		return ts.WriteBudgets(w, walLSN)
+	})
 }
 
 // LoadBudgets restores tenant accountants from dir/tenants.json. A missing
 // file is not an error (first boot); it returns how many tenants were
-// restored.
-func (ts *Tenants) LoadBudgets(dir string) (int, error) {
+// restored and the write-ahead-log LSN the file covers.
+func (ts *Tenants) LoadBudgets(dir string) (int, uint64, error) {
 	f, err := os.Open(filepath.Join(dir, BudgetsFile))
 	if os.IsNotExist(err) {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("serve: %w", err)
+		return 0, 0, fmt.Errorf("serve: %w", err)
 	}
 	defer f.Close()
 	return ts.ReadBudgets(f)

@@ -24,14 +24,14 @@ func TestBudgetsRoundTrip(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	if err := ts.SaveBudgets(dir); err != nil {
+	if err := ts.SaveBudgets(dir, 0); err != nil {
 		t.Fatal(err)
 	}
 
 	// Fresh directory, nothing pre-registered: both tenants come back with
 	// total and spend intact.
 	back := NewTenants()
-	n, err := back.LoadBudgets(dir)
+	n, _, err := back.LoadBudgets(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestBudgetsRestoreIntoExistingTenant(t *testing.T) {
 	a, _ := ts.Create("acme", 2.0)
 	_ = a.Session.RestoreSpent(1.25)
 	var buf bytes.Buffer
-	if err := ts.WriteBudgets(&buf); err != nil {
+	if err := ts.WriteBudgets(&buf, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -67,7 +67,7 @@ func TestBudgetsRestoreIntoExistingTenant(t *testing.T) {
 	if _, err := back.Create("acme", 2.0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := back.ReadBudgets(bytes.NewReader(buf.Bytes())); err != nil {
+	if _, _, err := back.ReadBudgets(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := back.Lookup("acme")
@@ -80,14 +80,14 @@ func TestBudgetsRestoreIntoExistingTenant(t *testing.T) {
 	if _, err := conflicted.Create("acme", 5.0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conflicted.ReadBudgets(bytes.NewReader(buf.Bytes())); err == nil {
+	if _, _, err := conflicted.ReadBudgets(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("conflicting budget: expected error")
 	}
 }
 
 func TestBudgetsLoadMissingFileIsFirstBoot(t *testing.T) {
 	ts := NewTenants()
-	n, err := ts.LoadBudgets(t.TempDir())
+	n, _, err := ts.LoadBudgets(t.TempDir())
 	if err != nil || n != 0 {
 		t.Fatalf("missing file: n=%d err=%v, want 0/nil", n, err)
 	}
@@ -95,10 +95,10 @@ func TestBudgetsLoadMissingFileIsFirstBoot(t *testing.T) {
 
 func TestBudgetsVersionMismatchTyped(t *testing.T) {
 	ts := NewTenants()
-	if _, err := ts.ReadBudgets(strings.NewReader(`{"kind":"tenant-budgets","version":99,"tenants":[]}`)); !errors.Is(err, funcmech.ErrVersionMismatch) {
+	if _, _, err := ts.ReadBudgets(strings.NewReader(`{"kind":"tenant-budgets","version":99,"tenants":[]}`)); !errors.Is(err, funcmech.ErrVersionMismatch) {
 		t.Fatalf("err = %v, want ErrVersionMismatch", err)
 	}
-	if _, err := ts.ReadBudgets(strings.NewReader(`{"kind":"other","version":1}`)); err == nil {
+	if _, _, err := ts.ReadBudgets(strings.NewReader(`{"kind":"other","version":1}`)); err == nil {
 		t.Fatal("wrong kind: expected error")
 	}
 }

@@ -17,7 +17,18 @@
 //     funcmech.Governor: in-flight fits × granted per-fit parallelism never
 //     exceeds a GOMAXPROCS-derived cap, so p concurrent fits cannot
 //     oversubscribe the sharded accumulator.
+//   - Accounting is crash-safe through a write-ahead log (internal/wal):
+//     with a WAL attached, every fit and refit follows charge → journal →
+//     fit, the debit fsynced to disk before any noise is drawn, and boot
+//     replays whatever the tenants.json snapshot does not cover. The
+//     guarantee is one-sided by construction — a hard kill may over-count a
+//     tenant's lifetime ε (a journaled debit whose fit never released),
+//     never under-count it, which is the side a privacy guarantee must err
+//     on. Tenant registrations and stream ingest sequences are journaled
+//     too, so replay can recreate the accountants it must debit and a
+//     stream's sequence numbers never rewind.
 //
-// Server wires the three into an http.Handler with typed JSON errors;
-// cmd/fmserve adds flags, signal handling and graceful drain.
+// Server wires the four into an http.Handler with typed JSON errors;
+// cmd/fmserve adds flags, signal handling, boot-time restore/replay and
+// graceful drain.
 package serve

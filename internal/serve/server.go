@@ -10,6 +10,7 @@ import (
 
 	"funcmech"
 	"funcmech/internal/stream"
+	"funcmech/internal/wal"
 )
 
 // Config sizes a Server.
@@ -32,6 +33,7 @@ type Server struct {
 	tenants  *Tenants
 	governor *Governor
 	stats    *Stats
+	wlog     *wal.Log      // optional write-ahead log; see wal.go
 	sem      chan struct{} // counting semaphore over fits in flight
 	start    time.Time
 	mux      *http.ServeMux
@@ -110,6 +112,7 @@ const (
 	codeConflict        = "conflict"
 	codeBudgetExhausted = "budget_exhausted"
 	codeFitFailed       = "fit_failed"
+	codeInternal        = "internal"
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -294,8 +297,15 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 	t, err := s.tenants.Create(req.Name, req.Budget)
 	if err != nil {
 		status, code := http.StatusBadRequest, codeInvalidRequest
-		if _, exists := s.tenants.Lookup(req.Name); exists {
-			status, code = http.StatusConflict, codeConflict
+		switch {
+		case errors.Is(err, errWALAppend):
+			// A server-side durability failure, not a malformed request —
+			// same mapping as a charge whose journal append fails.
+			status, code = http.StatusInternalServerError, codeInternal
+		default:
+			if _, exists := s.tenants.Lookup(req.Name); exists {
+				status, code = http.StatusConflict, codeConflict
+			}
 		}
 		writeError(w, status, code, "%v", err)
 		return
@@ -332,7 +342,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for _, st := range s.streams.All() {
 		streams = append(streams, infoForStream(st))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"fits_total":     s.stats.Fits(),
 		"fits_failed":    s.stats.Failed(),
 		"fits_in_flight": len(s.sem),
@@ -350,7 +360,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"datasets":          s.registry.Names(),
 		"uptime_seconds":    time.Since(s.start).Seconds(),
 		"max_fits_inflight": cap(s.sem),
-	})
+	}
+	if s.wlog != nil {
+		payload["wal"] = map[string]any{
+			"last_lsn": s.wlog.LastLSN(),
+			"segments": s.wlog.Segments(),
+		}
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -495,6 +512,15 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
+	// Charge-then-fit, with the debit journaled durably in between: once the
+	// WAL append returns, a crash anywhere below can only over-count the
+	// tenant's spend. The fits run uncharged via the package-level functions
+	// because the session was already debited here.
+	if err := s.chargeDurable(tenant, wal.OpFit, req.Dataset, req.Epsilon, opts); err != nil {
+		s.stats.RecordFit(time.Since(start), false)
+		writeChargeError(w, tenant, err)
+		return
+	}
 	var (
 		weights []float64
 		report  *funcmech.Report
@@ -502,13 +528,13 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	switch req.Model {
 	case "linear", "ridge":
 		var m *funcmech.LinearModel
-		m, report, err = tenant.Session.LinearRegression(ds, req.Epsilon, opts...)
+		m, report, err = funcmech.LinearRegression(ds, req.Epsilon, opts...)
 		if err == nil {
 			weights = m.Weights()
 		}
 	case "logistic":
 		var m *funcmech.LogisticModel
-		m, report, err = tenant.Session.LogisticRegression(ds, req.Epsilon, opts...)
+		m, report, err = funcmech.LogisticRegression(ds, req.Epsilon, opts...)
 		if err == nil {
 			weights = m.Weights()
 		}
@@ -517,12 +543,8 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	s.stats.RecordFit(elapsed, err == nil)
 
 	if err != nil {
-		if errors.Is(err, funcmech.ErrBudgetExhausted) {
-			tenant.exhausted.Add(1)
-			writeError(w, http.StatusPaymentRequired, codeBudgetExhausted,
-				"tenant %q: %v", req.Tenant, err)
-			return
-		}
+		// The charge stands — a post-debit failure is itself data-dependent
+		// information, so refunding it would be unsound (see Session docs).
 		writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
 		return
 	}

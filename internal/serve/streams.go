@@ -2,12 +2,13 @@ package serve
 
 import (
 	"encoding/json"
-	"errors"
+	"log"
 	"net/http"
 	"time"
 
 	"funcmech"
 	"funcmech/internal/stream"
+	"funcmech/internal/wal"
 )
 
 // Streaming endpoints: records arrive continuously via append-only streams
@@ -153,6 +154,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.RecordIngest(accepted)
 	records, batches := st.Counts()
+	if s.wlog != nil {
+		// Journal the post-batch sequence so a crash never rewinds a
+		// stream's sequence numbers. Best-effort toward the client by
+		// design: the batch is already folded, so surfacing an append
+		// failure as an error would invite a retry that double-folds the
+		// records — and unlike a charge, an under-counted sequence costs
+		// consistency, not privacy. The operator still needs the moment the
+		// journal broke (a failed append poisons it, and every later charge
+		// will 500), so the failure is logged. Out-of-order appends from
+		// racing batches are harmless: replay advances the gauges
+		// monotonically.
+		if _, err := s.wlog.Append(wal.Event{Kind: wal.EventIngest, Ref: st.Name(), Seq: records, Batches: batches}); err != nil {
+			log.Printf("serve: journaling ingest sequence for stream %q: %v", st.Name(), err)
+		}
+	}
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Stream:   st.Name(),
 		Accepted: accepted,
@@ -229,8 +245,13 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	// No admission semaphore here: a refit never rescans records, so its
 	// O(d²) cost is negligible next to a fit and queueing it behind fits
 	// would only add latency. Budget enforcement is identical to /v1/fit —
-	// the Session debits atomically before the release happens.
+	// charge, journal the debit durably, and only then draw noise.
 	start := time.Now()
+	if err := s.chargeDurable(tenant, wal.OpRefit, st.Name(), req.Epsilon, opts); err != nil {
+		s.stats.RecordRefit(false)
+		writeChargeError(w, tenant, err)
+		return
+	}
 	acc := st.Merged()
 	var (
 		weights []float64
@@ -239,13 +260,13 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	switch req.Model {
 	case "linear", "ridge":
 		var m *funcmech.LinearModel
-		m, report, err = tenant.Session.LinearRegressionFromAccumulator(acc, req.Epsilon, opts...)
+		m, report, err = funcmech.LinearRegressionFromAccumulator(acc, req.Epsilon, opts...)
 		if err == nil {
 			weights = m.Weights()
 		}
 	case "logistic":
 		var m *funcmech.LogisticModel
-		m, report, err = tenant.Session.LogisticRegressionFromAccumulator(acc, req.Epsilon, opts...)
+		m, report, err = funcmech.LogisticRegressionFromAccumulator(acc, req.Epsilon, opts...)
 		if err == nil {
 			weights = m.Weights()
 		}
@@ -254,11 +275,7 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	s.stats.RecordRefit(err == nil)
 
 	if err != nil {
-		if errors.Is(err, funcmech.ErrBudgetExhausted) {
-			tenant.exhausted.Add(1)
-			writeError(w, http.StatusPaymentRequired, codeBudgetExhausted, "tenant %q: %v", req.Tenant, err)
-			return
-		}
+		// The charge stands; see handleFit.
 		writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
 		return
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"funcmech"
+	"funcmech/internal/wal"
 )
 
 // Tenant is one customer of the service: a name, the *funcmech.Session
@@ -32,8 +33,9 @@ func (t *Tenant) Exhausted() int64 { return t.exhausted.Load() }
 // through an RLock and then operate on the tenant's own session, which has
 // its own synchronization.
 type Tenants struct {
-	mu  sync.RWMutex
-	all map[string]*Tenant
+	mu   sync.RWMutex
+	all  map[string]*Tenant
+	wlog *wal.Log // when set, registrations are journaled before they exist
 }
 
 // NewTenants returns an empty directory.
@@ -41,9 +43,24 @@ func NewTenants() *Tenants {
 	return &Tenants{all: make(map[string]*Tenant)}
 }
 
+// UseWAL makes every subsequent Create journal a registration event before
+// the tenant becomes visible. The journal must be attached after boot-time
+// restore/replay (those recreate tenants the journal already knows about)
+// and before any live traffic.
+func (ts *Tenants) UseWAL(l *wal.Log) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.wlog = l
+}
+
 // Create registers a tenant with the given lifetime ε. The budget must be
 // positive; duplicate names are an error (a tenant's budget is a lifetime
-// commitment — re-creating one would reset its privacy accounting).
+// commitment — re-creating one would reset its privacy accounting). With a
+// WAL attached, the registration is journaled durably first: a tenant whose
+// charges the journal can prove must itself be provable from the journal,
+// or replay of those charges would have no accountant to debit. The fsync
+// happens under the directory lock — registration is rare, correctness is
+// not negotiable.
 func (ts *Tenants) Create(name string, budget float64) (*Tenant, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty tenant name")
@@ -55,6 +72,11 @@ func (ts *Tenants) Create(name string, budget float64) (*Tenant, error) {
 	defer ts.mu.Unlock()
 	if _, ok := ts.all[name]; ok {
 		return nil, fmt.Errorf("serve: tenant %q already exists", name)
+	}
+	if ts.wlog != nil {
+		if _, err := ts.wlog.Append(wal.Event{Kind: wal.EventTenant, Tenant: name, Total: budget}); err != nil {
+			return nil, fmt.Errorf("%w tenant %q: %v", errWALAppend, name, err)
+		}
 	}
 	t := &Tenant{Name: name, Session: funcmech.NewSession(budget)}
 	ts.all[name] = t

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"funcmech"
+	"funcmech/internal/wal"
 )
 
 // snapshotEnvelope is the on-disk format of one stream, mirroring the model
@@ -19,11 +20,21 @@ import (
 // Snapshot files contain raw coefficient sums — as sensitive as the records;
 // see the funcmech accumulator docs.
 type snapshotEnvelope struct {
-	Kind        string          `json:"kind"` // "stream"
-	Name        string          `json:"name"`
-	Shards      int             `json:"shards"`
-	Records     uint64          `json:"records"`
-	Batches     uint64          `json:"batches"`
+	Kind    string `json:"kind"` // "stream"
+	Name    string `json:"name"`
+	Shards  int    `json:"shards"`
+	Records uint64 `json:"records"`
+	Batches uint64 `json:"batches"`
+	// Seq/SeqBatches are the monotone ingest sequence gauges; they exceed
+	// Records/Batches only after a crash whose WAL replay advanced the
+	// sequence past the coefficients that survived. Absent in pre-WAL
+	// snapshots (decoding to 0, which the restore max()es away).
+	Seq        uint64 `json:"seq,omitempty"`
+	SeqBatches uint64 `json:"seq_batches,omitempty"`
+	// WALLSN is the highest write-ahead-log LSN whose effects this snapshot
+	// folds in; replay applies only journal records above it, which keeps
+	// restore idempotent across the snapshot/WAL boundary.
+	WALLSN      uint64          `json:"wal_lsn,omitempty"`
 	Refits      uint64          `json:"refits"`
 	LastRefit   *RefitInfo      `json:"last_refit,omitempty"`
 	CreatedAt   time.Time       `json:"created_at"`
@@ -42,13 +53,19 @@ const (
 // and batch counts are collected under the same shard-lock pass as the
 // coefficients, so a snapshot taken during live ingestion can never persist
 // counts that disagree with the sums it carries.
-func (s *Stream) WriteSnapshot(w io.Writer) error {
+//
+// walLSN is the highest write-ahead-log LSN the caller read *before* the
+// state here was collected (0 without a WAL): that ordering guarantees
+// every journal record the snapshot claims to cover had already taken
+// effect, so skipping those records on replay can never under-count.
+func (s *Stream) WriteSnapshot(w io.Writer, walLSN uint64) error {
 	merged, batches := s.mergedView()
 	var acc bytes.Buffer
 	if err := merged.Save(&acc); err != nil {
 		return fmt.Errorf("stream %q: %w", s.name, err)
 	}
 	refits, last := s.refitState() // one lock: counter and metadata agree
+	seq, seqBatches := s.Counts()
 	env := snapshotEnvelope{
 		Kind:        snapshotKind,
 		Name:        s.name,
@@ -56,10 +73,19 @@ func (s *Stream) WriteSnapshot(w io.Writer) error {
 		Records:     uint64(merged.Len()),
 		Batches:     batches,
 		Refits:      refits,
+		WALLSN:      walLSN,
 		CreatedAt:   s.created,
 		SavedAt:     time.Now().UTC(),
 		Accumulator: json.RawMessage(bytes.TrimSpace(acc.Bytes())),
 		Version:     snapshotVersion,
+	}
+	// Persist the sequence gauges only where they carry information beyond
+	// the shard-consistent counts (i.e. after a crash advanced them).
+	if seq > env.Records {
+		env.Seq = seq
+	}
+	if seqBatches > env.Batches {
+		env.SeqBatches = seqBatches
 	}
 	if last != nil {
 		info := *last
@@ -96,7 +122,15 @@ func ReadSnapshot(r io.Reader) (*Stream, error) {
 	if th, ok := acc.BinarizeThreshold(); ok {
 		cfg.BinarizeThreshold = &th
 	}
-	return restore(env.Name, cfg, acc, env.Batches, env.Refits, env.CreatedAt, env.LastRefit)
+	return restore(env.Name, cfg, acc, restoreState{
+		batches:    env.Batches,
+		refits:     env.Refits,
+		seq:        env.Seq,
+		seqBatches: env.SeqBatches,
+		walLSN:     env.WALLSN,
+		created:    env.CreatedAt,
+		last:       env.LastRefit,
+	})
 }
 
 // Store persists streams under a directory, one atomically-replaced file per
@@ -121,39 +155,24 @@ func NewStore(dir string) (*Store, error) {
 // Dir returns the store's directory.
 func (st *Store) Dir() string { return st.dir }
 
-// Save writes one stream's snapshot atomically: a temp file in the same
-// directory, fsynced, then renamed over the target, so a crash mid-save
-// leaves the previous snapshot intact.
-func (st *Store) Save(s *Stream) error {
-	target := filepath.Join(st.dir, s.Name()+snapshotSuffix)
-	tmp, err := os.CreateTemp(st.dir, s.Name()+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("stream: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := s.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("stream: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("stream: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), target); err != nil {
-		return fmt.Errorf("stream: %w", err)
-	}
-	return nil
+// Save writes one stream's snapshot atomically and durably
+// (wal.WriteFileAtomic: temp file, fsync, rename, directory fsync — without
+// the last step the atomic replace lives only in the page cache, and a
+// power loss can resurrect the previous snapshot). walLSN is the journal
+// position the snapshot covers; see Stream.WriteSnapshot.
+func (st *Store) Save(s *Stream, walLSN uint64) error {
+	return wal.WriteFileAtomic(filepath.Join(st.dir, s.Name()+snapshotSuffix), func(w io.Writer) error {
+		return s.WriteSnapshot(w, walLSN)
+	})
 }
 
-// SaveAll snapshots every stream in the registry, continuing past individual
-// failures and returning the first error.
-func (st *Store) SaveAll(r *Registry) error {
+// SaveAll snapshots every stream in the registry at the same covered journal
+// position, continuing past individual failures and returning the first
+// error.
+func (st *Store) SaveAll(r *Registry, walLSN uint64) error {
 	var first error
 	for _, s := range r.All() {
-		if err := st.Save(s); err != nil && first == nil {
+		if err := st.Save(s, walLSN); err != nil && first == nil {
 			first = err
 		}
 	}

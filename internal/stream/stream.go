@@ -83,6 +83,7 @@ type Stream struct {
 	countMu sync.Mutex // guards the monitoring gauges below
 	records uint64
 	batches uint64
+	walLSN  uint64 // highest WAL LSN the restoring snapshot covered
 
 	mu        sync.Mutex // guards refit metadata below
 	refits    uint64
@@ -168,6 +169,37 @@ func (s *Stream) Counts() (records, batches uint64) {
 	s.countMu.Lock()
 	defer s.countMu.Unlock()
 	return s.records, s.batches
+}
+
+// AdvanceSeq raises the stream's ingest sequence gauges to at least the
+// given totals; lower values are ignored, so the call is idempotent and
+// safe against out-of-order journal records. It is the WAL-replay path: the
+// coefficients of batches folded after the last snapshot died with the
+// crash, but their sequence numbers were journaled, and keeping the
+// sequence monotone means a post-crash audit sees the stream's exposure
+// over-counted rather than silently rewound. After a crash the records
+// gauge may therefore exceed the records a refit actually covers.
+func (s *Stream) AdvanceSeq(records, batches uint64) {
+	s.countMu.Lock()
+	defer s.countMu.Unlock()
+	if records > s.records {
+		s.records = records
+	}
+	if batches > s.batches {
+		s.batches = batches
+	}
+}
+
+// WALLSN returns the highest write-ahead-log LSN the snapshot this stream
+// was restored from claimed to cover (0 for a live-created stream). Journal
+// events at or below it are already folded into the restored state; replay
+// must apply only events above it — crucially, ingest events journaled for
+// an earlier, crash-lost incarnation of a recreated stream name all sit
+// below the recreating snapshot's LSN and are thereby ignored.
+func (s *Stream) WALLSN() uint64 {
+	s.countMu.Lock()
+	defer s.countMu.Unlock()
+	return s.walLSN
 }
 
 // Refits returns the number of private releases served from the stream.
@@ -331,24 +363,41 @@ func (s *Stream) RecordRefit(info RefitInfo) {
 	s.mu.Unlock()
 }
 
+// restoreState carries the snapshot metadata that is not implied by the
+// merged accumulator itself.
+type restoreState struct {
+	batches uint64 // ingest batches folded into the accumulator
+	refits  uint64
+	// seq and seqBatches are the monotone ingest sequence gauges, which can
+	// exceed the accumulator's own counts after a crash: WAL replay advances
+	// the sequence for batches whose coefficients died with the process.
+	seq        uint64
+	seqBatches uint64
+	walLSN     uint64 // highest WAL LSN the snapshot covers
+	created    time.Time
+	last       *RefitInfo
+}
+
 // restore rebuilds a stream from snapshot state: the merged accumulator is
 // placed in shard 0 (empty accumulators fill the rest), so a refit after
 // restore sees exactly the snapshotted coefficients and new batches keep
 // spreading across shards. The record count is implied by the accumulator
-// itself; only the batch count needs carrying over.
-func restore(name string, cfg Config, merged *funcmech.Accumulator, batches, refits uint64, created time.Time, last *RefitInfo) (*Stream, error) {
+// itself; the sequence gauges take the max with the journaled sequence so a
+// crash never rewinds them.
+func restore(name string, cfg Config, merged *funcmech.Accumulator, st restoreState) (*Stream, error) {
 	s, err := New(name, cfg)
 	if err != nil {
 		return nil, err
 	}
 	s.shards[0].acc = merged
-	s.shards[0].batches = batches
-	s.records = uint64(merged.Len())
-	s.batches = batches
-	s.refits = refits
-	if !created.IsZero() {
-		s.created = created
+	s.shards[0].batches = st.batches
+	s.records = max(uint64(merged.Len()), st.seq)
+	s.batches = max(st.batches, st.seqBatches)
+	s.walLSN = st.walLSN
+	s.refits = st.refits
+	if !st.created.IsZero() {
+		s.created = st.created
 	}
-	s.lastRefit = last
+	s.lastRefit = st.last
 	return s, nil
 }

@@ -242,7 +242,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	s.RecordRefit(RefitInfo{Model: "logistic", Tenant: "acme", Epsilon: 1.0, Records: s.Records()})
 
 	var buf bytes.Buffer
-	if err := s.WriteSnapshot(&buf); err != nil {
+	if err := s.WriteSnapshot(&buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	back, err := ReadSnapshot(&buf)
@@ -289,7 +289,7 @@ func TestSnapshotVersionMismatchTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := s.WriteSnapshot(&buf); err != nil {
+	if err := s.WriteSnapshot(&buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	tampered := strings.Replace(buf.String(), `"version":1}`, `"version":99}`, 1)
@@ -314,7 +314,7 @@ func TestStoreSaveLoadAll(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := st.SaveAll(reg); err != nil {
+	if err := st.SaveAll(reg, 0); err != nil {
 		t.Fatal(err)
 	}
 	// A stray file must be ignored.
@@ -346,5 +346,58 @@ func TestRegistryDuplicate(t *testing.T) {
 	}
 	if _, err := reg.Create("dup", Config{Schema: testSchema()}); err == nil {
 		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestAdvanceSeqMonotone(t *testing.T) {
+	s, err := New("seq", Config{Schema: testSchema()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(testRows(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceSeq(9, 4) // WAL replay: batches whose coefficients died
+	if r, b := s.Counts(); r != 9 || b != 4 {
+		t.Fatalf("Counts = %d/%d after AdvanceSeq(9,4), want 9/4", r, b)
+	}
+	s.AdvanceSeq(2, 1) // stale journal record: never rewinds
+	if r, b := s.Counts(); r != 9 || b != 4 {
+		t.Fatalf("Counts = %d/%d after stale AdvanceSeq, want 9/4 unchanged", r, b)
+	}
+	// New ingest keeps counting from the advanced sequence.
+	if _, err := s.Ingest(testRows(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Records(); r != 12 {
+		t.Fatalf("Records = %d after post-advance ingest, want 12", r)
+	}
+}
+
+func TestSnapshotCarriesSeqAndWALLSN(t *testing.T) {
+	s, err := New("seq", Config{Schema: testSchema()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(testRows(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceSeq(9, 4)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf, 77); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.WALLSN(); got != 77 {
+		t.Fatalf("WALLSN = %d, want 77", got)
+	}
+	if r, b := back.Counts(); r != 9 || b != 4 {
+		t.Fatalf("restored sequence = %d/%d, want 9/4 (never rewound by restore)", r, b)
+	}
+	if got := back.Merged().Len(); got != 5 {
+		t.Fatalf("restored coefficients cover %d records, want the 5 actually folded", got)
 	}
 }

@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// WriteFileAtomic durably replaces path with the content write produces:
+// temp file in the same directory, fsync, rename over the target, then
+// SyncDir — so a crash at any point leaves either the old file or the new
+// one, never a torn mix, and the replace itself survives power loss. It is
+// the one implementation of the atomic-write dance every durable writer in
+// this repo (tenants.json, stream snapshots) goes through.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making directory-entry mutations — file
+// creation, deletion, and the atomic os.Rename replace — durable across
+// power loss. Writers that fsync only the file itself leave the rename in
+// the page cache: after a crash the data may exist while the name pointing
+// at it does not. Every durable writer in this repo (WAL segments, stream
+// snapshots, tenants.json) pairs its rename or create with a SyncDir.
+//
+// On platforms where directories cannot be opened or synced (Windows), it
+// is a no-op: the rename-then-sync idiom is POSIX-specific and those
+// platforms offer no portable equivalent.
+func SyncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: syncing directory %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,414 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(Event{Kind: EventCharge, Tenant: "acme", Op: OpFit, Epsilon: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string) ([]Event, uint64) {
+	t.Helper()
+	var evs []Event
+	last, err := Replay(dir, func(ev Event) error {
+		evs = append(evs, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs, last
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Fsync: true})
+	events := []Event{
+		{Kind: EventTenant, Tenant: "acme", Total: 4},
+		{Kind: EventCharge, Tenant: "acme", Op: OpFit, Ref: "income", Epsilon: 0.5},
+		{Kind: EventCharge, Tenant: "acme", Op: OpRefit, Ref: "readings", Epsilon: 1.0},
+		{Kind: EventIngest, Ref: "readings", Seq: 150, Batches: 3},
+	}
+	for i, ev := range events {
+		lsn, err := l.Append(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("event %d got lsn %d, want %d", i, lsn, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, last := replayAll(t, dir)
+	if last != uint64(len(events)) {
+		t.Fatalf("last lsn = %d, want %d", last, len(events))
+	}
+	if len(got) != len(events) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(events))
+	}
+	for i, ev := range got {
+		want := events[i]
+		want.LSN = uint64(i + 1)
+		if ev != want {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, want)
+		}
+	}
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	last, err := Replay(filepath.Join(t.TempDir(), "nope"), func(Event) error {
+		t.Fatal("callback on empty journal")
+		return nil
+	})
+	if err != nil || last != 0 {
+		t.Fatalf("Replay = (%d, %v), want (0, nil)", last, err)
+	}
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentSize: 128}) // a couple of records per segment
+	appendN(t, l, 20)
+	if segs := l.Segments(); segs < 3 {
+		t.Fatalf("got %d segments, want rotation to have produced several", segs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, last := replayAll(t, dir)
+	if len(got) != 20 || last != 20 {
+		t.Fatalf("replayed %d events to lsn %d, want 20/20", len(got), last)
+	}
+	for i, ev := range got {
+		if ev.LSN != uint64(i+1) {
+			t.Fatalf("event %d has lsn %d, want %d (monotone across segments)", i, ev.LSN, i+1)
+		}
+	}
+}
+
+func TestReopenContinuesLSNs(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{})
+	lsn, err := l2.Append(Event{Kind: EventCharge, Tenant: "acme", Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 6 {
+		t.Fatalf("first lsn after reopen = %d, want 6", lsn)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, last := replayAll(t, dir); len(got) != 6 || last != 6 {
+		t.Fatalf("replayed %d events to lsn %d, want 6/6", len(got), last)
+	}
+}
+
+// lastSegment returns the path of the highest-LSN segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	firsts, err := segmentFirsts(dir)
+	if err != nil || len(firsts) == 0 {
+		t.Fatalf("no segments in %s (err=%v)", dir, err)
+	}
+	return segmentPath(dir, firsts[len(firsts)-1])
+}
+
+func TestReplayStopsAtTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Fsync: true})
+	appendN(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop a few bytes off the last record — the residue of a torn write.
+	path := lastSegment(t, dir)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	got, last := replayAll(t, dir)
+	if len(got) != 2 || last != 2 {
+		t.Fatalf("replayed %d events to lsn %d after torn tail, want 2/2", len(got), last)
+	}
+	// Reopen for appending: the torn record is superseded, LSN 3 is reused
+	// only because it was never durable as a complete record.
+	l2 := mustOpen(t, dir, Options{})
+	if lsn, err := l2.Append(Event{Kind: EventCharge, Tenant: "t", Epsilon: 1}); err != nil || lsn != 3 {
+		t.Fatalf("append after torn tail = (%d, %v), want (3, nil)", lsn, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, last := replayAll(t, dir); len(got) != 3 || last != 3 {
+		t.Fatalf("replayed %d/%d after recovery append, want 3/3", len(got), last)
+	}
+}
+
+func TestReplayStopsAtCorruptCRCMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 6) // one segment
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := lastSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte roughly in the middle of the segment: the CRC of
+	// that record no longer matches, and replay must stop at the last valid
+	// LSN before it — without surfacing an error.
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, last := replayAll(t, dir)
+	if len(got) == 0 || len(got) >= 6 {
+		t.Fatalf("replayed %d events past mid-segment corruption, want a strict valid prefix", len(got))
+	}
+	if last != got[len(got)-1].LSN {
+		t.Fatalf("last = %d disagrees with final replayed lsn %d", last, got[len(got)-1].LSN)
+	}
+}
+
+func TestReplaySkipsEmptySegment(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash right after rotation (or an Open with no subsequent appends)
+	// leaves a zero-byte segment behind.
+	if err := os.WriteFile(segmentPath(dir, 3), nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, last := replayAll(t, dir)
+	if len(got) != 2 || last != 2 {
+		t.Fatalf("replayed %d events to lsn %d with empty segment present, want 2/2", len(got), last)
+	}
+	// Open reclaims the empty segment as the new active one.
+	l2 := mustOpen(t, dir, Options{})
+	if lsn, err := l2.Append(Event{Kind: EventCharge, Tenant: "t", Epsilon: 1}); err != nil || lsn != 3 {
+		t.Fatalf("append over empty segment = (%d, %v), want (3, nil)", lsn, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenFailsOnMidJournalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentSize: 64}) // force several segments
+	appendN(t, l, 10)
+	if l.Segments() < 3 {
+		t.Fatalf("want ≥3 segments, got %d", l.Segments())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	firsts, err := segmentFirsts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a non-final segment: that is bit rot, not a torn tail, and
+	// opening for append must refuse rather than orphan the valid suffix.
+	data, err := os.ReadFile(segmentPath(dir, firsts[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segmentPath(dir, firsts[0]), data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded over mid-journal corruption")
+	}
+	// Read-only replay still serves the valid prefix, silently.
+	if _, err := Replay(dir, func(Event) error { return nil }); err != nil {
+		t.Fatalf("Replay over mid-journal corruption errored: %v", err)
+	}
+}
+
+func TestCompactRemovesCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentSize: 64})
+	appendN(t, l, 12)
+	before := l.Segments()
+	if before < 4 {
+		t.Fatalf("want ≥4 segments, got %d", before)
+	}
+	covered := l.LastLSN() - 2 // the last couple of events are not yet snapshotted
+	removed, err := l.Compact(covered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("compaction removed nothing")
+	}
+	if got := l.Segments(); got != before-removed {
+		t.Fatalf("Segments = %d after removing %d of %d", got, removed, before)
+	}
+	// Everything beyond covered must still replay.
+	var survivors []Event
+	if _, err := Replay(dir, func(ev Event) error {
+		survivors = append(survivors, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range survivors {
+		if ev.LSN > covered {
+			return // at least one uncovered event survived — as required
+		}
+	}
+	t.Fatalf("no event with lsn > %d survived compaction (survivors: %d)", covered, len(survivors))
+}
+
+func TestCompactNeverDropsUncoveredEvents(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentSize: 64})
+	appendN(t, l, 12)
+	covered := uint64(5)
+	if _, err := l.Compact(covered); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	if _, err := Replay(dir, func(ev Event) error {
+		seen[ev.LSN] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for lsn := covered + 1; lsn <= 12; lsn++ {
+		if !seen[lsn] {
+			t.Fatalf("lsn %d (> covered %d) lost by compaction", lsn, covered)
+		}
+	}
+}
+
+func TestOpenFloorPreventsLSNReuse(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentSize: 64})
+	appendN(t, l, 8)
+	last := l.LastLSN()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A full compaction after a final snapshot can empty the directory…
+	l2 := mustOpen(t, dir, Options{})
+	if _, err := l2.Compact(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, first := range func() []uint64 { f, _ := segmentFirsts(dir); return f }() {
+		_ = os.Remove(segmentPath(dir, first)) // simulate the active segments also gone
+	}
+	// …and the snapshot alone remembers the history. The floor keeps new
+	// LSNs above everything any snapshot claims to cover.
+	l3 := mustOpen(t, dir, Options{Floor: last})
+	lsn, err := l3.Append(Event{Kind: EventCharge, Tenant: "t", Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != last+1 {
+		t.Fatalf("lsn after floor reopen = %d, want %d", lsn, last+1)
+	}
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayIdempotentAcrossSnapshotBoundary(t *testing.T) {
+	// The snapshot/WAL contract: a consumer that snapshotted state covering
+	// LSN c applies only events with LSN > c on replay. Applying the replay
+	// twice (two boots with no intervening writes) must produce the same
+	// state — the gate, not the journal, provides the idempotence.
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(Event{Kind: EventCharge, Tenant: "acme", Op: OpFit, Epsilon: 0.25}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const covered = 4 // a snapshot folded the first 4 charges
+	apply := func() (spent float64, applied int) {
+		spent = 4 * 0.25
+		if _, err := Replay(dir, func(ev Event) error {
+			if ev.LSN <= covered {
+				return nil
+			}
+			spent += ev.Epsilon
+			applied++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return spent, applied
+	}
+	s1, a1 := apply()
+	s2, a2 := apply()
+	if s1 != s2 || a1 != a2 {
+		t.Fatalf("replay not idempotent: (%v, %d) then (%v, %d)", s1, a1, s2, a2)
+	}
+	if a1 != 2 || s1 != 1.5 {
+		t.Fatalf("applied %d events for spent %v, want 2 events and 1.5", a1, s1)
+	}
+}
+
+func TestAppendAfterCompactionKeepsMonotoneLSNs(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentSize: 64})
+	appendN(t, l, 9)
+	if _, err := l.Compact(l.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(Event{Kind: EventCharge, Tenant: "t", Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 10 {
+		t.Fatalf("lsn after compaction = %d, want 10", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,6 +35,11 @@ type Session struct {
 // ErrBudgetExhausted is returned when a fit would exceed the session budget.
 var ErrBudgetExhausted = noise.ErrBudgetExhausted
 
+// ErrInvalidSpend is returned when a fit or charge names a non-positive ε —
+// a malformed request, distinct from an exhausted budget. Serving layers map
+// it to a client error (HTTP 400) rather than a server failure.
+var ErrInvalidSpend = noise.ErrInvalidSpend
+
 // NewSession returns a session with the given total ε. It panics for a
 // non-positive budget (a programming error).
 func NewSession(totalEpsilon float64) *Session {
@@ -58,18 +63,40 @@ func (s *Session) Spent() float64 { return s.budget.Spent() }
 // Total returns the configured lifetime budget.
 func (s *Session) Total() float64 { return s.budget.Total() }
 
-// charge computes the true cost of a fit with the given options (Resample
-// doubles it, Lemma 5) and debits the accountant.
-func (s *Session) charge(epsilon float64, opts []Option) error {
+// Charge computes the true cost of a fit with the given options (Resample
+// doubles it, Lemma 5), debits the accountant, and returns the cost that was
+// debited. It exists for serving layers that must interpose a durability
+// step between the debit and the fit — charge, journal the returned cost to
+// a write-ahead log, then run the fit uncharged via the package-level
+// functions — so a crash after the debit can only ever over-count the spend.
+// A non-positive ε wraps ErrInvalidSpend; exhaustion wraps
+// ErrBudgetExhausted and leaves the accountant unchanged.
+func (s *Session) Charge(epsilon float64, opts ...Option) (float64, error) {
 	if epsilon <= 0 {
-		return fmt.Errorf("funcmech: non-positive ε %v", epsilon)
+		return 0, fmt.Errorf("funcmech: %w: non-positive ε %v", ErrInvalidSpend, epsilon)
 	}
 	cost := epsilon
 	cfg := buildConfig(opts)
 	if cfg.opts.PostProcess == Resample {
 		cost = 2 * epsilon
 	}
-	return s.budget.Spend(cost)
+	if err := s.budget.Spend(cost); err != nil {
+		return 0, err
+	}
+	return cost, nil
+}
+
+// ReplaySpend re-applies a journaled charge during crash recovery: the
+// amount is added to the consumed budget unconditionally, clamped at
+// Total(). Over-counting (a charge both snapshotted and replayed) costs
+// utility; under-counting would cost privacy, so the clamp is the only
+// forgiveness. See the serving layer's write-ahead log.
+func (s *Session) ReplaySpend(cost float64) { s.budget.ReplaySpend(cost) }
+
+// charge is Charge for the session's own fit methods.
+func (s *Session) charge(epsilon float64, opts []Option) error {
+	_, err := s.Charge(epsilon, opts...)
+	return err
 }
 
 // LinearRegression is LinearRegression debited against the session budget.
