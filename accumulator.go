@@ -167,6 +167,8 @@ func (s *flatScratch) ensure(xs, k, row int) {
 // flows through the blocked objective kernel, which preserves per-coefficient
 // record order exactly. Scratch space is pooled, so steady-state batch
 // ingestion performs no per-record allocations.
+//
+//fm:noalloc
 func (a *Accumulator) AddFlat(flat []float64) (int, error) {
 	w := len(a.schema.Features) + 1
 	if len(flat)%w != 0 {

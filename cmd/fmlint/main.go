@@ -1,0 +1,51 @@
+// Command fmlint runs the repository's analyzer suite (internal/lint) over
+// the packages matching the given patterns — ./... when none are given — and
+// prints each surviving finding as
+//
+//	file:line:col: [analyzer] message
+//
+// Exit status: 0 when clean, 1 when there are findings, 3 when loading or
+// analysis itself fails. A finding is silenced only by fixing it or by an
+// //fmlint:ignore <analyzer> <justification> directive on (or directly
+// above) the offending line.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"funcmech/internal/lint"
+	"funcmech/internal/lint/analysis"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fmlint:", err)
+		os.Exit(3)
+	}
+	findings, err := analysis.Run(prog, lint.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fmlint:", err)
+		os.Exit(3)
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fmlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

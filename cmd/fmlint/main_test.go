@@ -1,0 +1,24 @@
+package main_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestRunsCleanOnTrivialPackage is the CLI regression test: fmlint must
+// load, analyze, and exit 0 with no output on a package with nothing to
+// report.
+func TestRunsCleanOnTrivialPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	cmd := exec.Command("go", "run", "./cmd/fmlint", "./internal/noise")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("fmlint ./internal/noise: %v\n%s", err, out)
+	}
+	if len(out) != 0 {
+		t.Fatalf("expected no findings on a clean package, got:\n%s", out)
+	}
+}

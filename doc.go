@@ -93,6 +93,16 @@
 // source and guard against floating-point side channels, which are outside
 // this library's scope (as they were outside the paper's).
 //
+// These invariants are machine-checked, not just documented: the fmlint
+// analyzer suite (internal/lint, run via cmd/fmlint as a required CI gate)
+// statically verifies that no serving code reaches a noise draw except
+// through an audited charge-then-journal release site, that atomic renames
+// are made durable with a directory fsync, that the bit-identity packages
+// never fold floats under nondeterministic map iteration or read ambient
+// entropy and wall clocks, and that the //fm:noalloc hot paths stay
+// allocation-free. A change that silently weakened the ε-accounting or the
+// reproducibility story would fail the build before it reached review.
+//
 // # Architecture
 //
 // The public API wraps the internal packages, which mirror the paper:

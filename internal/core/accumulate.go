@@ -108,6 +108,8 @@ func (a *Accumulator) AddBatch(ds *dataset.Dataset, s dataset.Shard) {
 // (stride Dim()) into the partial objective — the entry point for ingest
 // pipelines that keep arriving batches in columnar form and never
 // materialize per-record slices.
+//
+//fm:noalloc
 func (a *Accumulator) AddFlat(xs []float64, ys []float64) {
 	if len(xs) != len(ys)*a.d {
 		panic(fmt.Sprintf("core: AddFlat with %d feature values for %d records of width %d",

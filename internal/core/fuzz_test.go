@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"funcmech/internal/poly"
+)
+
+// FuzzAccumulateBlockBitIdentity fuzzes the contract the SYRK-style blocked
+// kernel is allowed to exist under: AccumulateBlock must produce coefficients
+// byte-identical to folding the same records one at a time through
+// AccumulateRecord, for both task families, on arbitrary finite inputs.
+func FuzzAccumulateBlockBitIdentity(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(make([]byte, 200))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1+8 {
+			return
+		}
+		d := 1 + int(data[0])%8
+		vals := bytesToFinite(data[1:])
+		n := len(vals) / (d + 1)
+		if n == 0 {
+			return
+		}
+		if n > 64 {
+			n = 64
+		}
+		xs := make([]float64, 0, n*d)
+		ys := make([]float64, 0, n)
+		for r := 0; r < n; r++ {
+			row := vals[r*(d+1) : (r+1)*(d+1)]
+			xs = append(xs, row[:d]...)
+			ys = append(ys, row[d])
+		}
+		for _, task := range []BlockTask{LinearTask{}, LogisticTask{}} {
+			scalar := poly.NewQuadratic(d)
+			for r := 0; r < n; r++ {
+				task.AccumulateRecord(scalar, xs[r*d:(r+1)*d], ys[r])
+			}
+			blocked := poly.NewQuadratic(d)
+			task.AccumulateBlock(blocked, xs, ys, d)
+			requireBitIdentical(t, task.Name(), scalar, blocked)
+		}
+	})
+}
+
+// bytesToFinite reinterprets 8-byte chunks as float64s, replacing NaN and
+// ±Inf with small bounded values so the comparison exercises arithmetic, not
+// NaN propagation quirks.
+func bytesToFinite(b []byte) []float64 {
+	out := make([]float64, 0, len(b)/8)
+	for len(b) >= 8 {
+		bits := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = float64(int64(bits%2001)-1000) / 1000
+		}
+		out = append(out, v)
+		b = b[8:]
+	}
+	return out
+}
+
+func requireBitIdentical(t *testing.T, name string, a, b *poly.Quadratic) {
+	t.Helper()
+	d := a.Dim()
+	if math.Float64bits(a.Beta) != math.Float64bits(b.Beta) {
+		t.Fatalf("%s: Beta diverged: % x vs % x", name, a.Beta, b.Beta)
+	}
+	for i := 0; i < d; i++ {
+		if math.Float64bits(a.Alpha[i]) != math.Float64bits(b.Alpha[i]) {
+			t.Fatalf("%s: Alpha[%d] diverged: %v vs %v", name, i, a.Alpha[i], b.Alpha[i])
+		}
+		for j := 0; j < d; j++ {
+			if math.Float64bits(a.M.At(i, j)) != math.Float64bits(b.M.At(i, j)) {
+				t.Fatalf("%s: M[%d,%d] diverged: %v vs %v", name, i, j, a.M.At(i, j), b.M.At(i, j))
+			}
+		}
+	}
+}

@@ -59,6 +59,8 @@ type BlockTask interface {
 // (x[a]/8)·x[b] — the logistic Taylor coefficient f₁⁽²⁾(0)=¼ halved across
 // the symmetric pair, applied to x[a] first exactly as the scalar
 // AccumulateRecord path applies it, so the two paths stay bit-identical.
+//
+//fm:noalloc
 func syrkTileUpper(m *poly.Quadratic, tile []float64, d int, div8 bool) {
 	a := 0
 	for ; a+2 <= d; a += 2 {
@@ -72,6 +74,8 @@ func syrkTileUpper(m *poly.Quadratic, tile []float64, d int, div8 bool) {
 // syrkRowPair covers rows a and a+1 of the upper triangle over one tile:
 // the three leading-edge cells (a,a), (a,a+1), (a+1,a+1) as one register
 // block, then 2×4 blocks from column a+2, then a joint 2-row tail.
+//
+//fm:noalloc
 func syrkRowPair(tile []float64, d, a int, div8 bool, row0, row1 []float64) {
 	e0, e1, e2 := row0[a], row0[a+1], row1[a+1]
 	if div8 {
@@ -213,6 +217,8 @@ func syrkRowPair(tile []float64, d, a int, div8 bool, row0, row1 []float64) {
 
 // syrkRowSingle covers the last row of an odd-dimensional triangle over one
 // tile — a single diagonal cell.
+//
+//fm:noalloc
 func syrkRowSingle(tile []float64, d, a int, div8 bool, row []float64) {
 	s := row[a]
 	if div8 {
@@ -233,6 +239,8 @@ func syrkRowSingle(tile []float64, d, a int, div8 bool, row []float64) {
 // α[a] −= 2y·x[a] and β += y², each cell in record order. The α/β pass runs
 // per tile, right after the tile's M pass, while the tile is still
 // cache-resident — fusing them saves a second full stream over xs.
+//
+//fm:noalloc
 func (LinearTask) AccumulateBlock(acc *poly.Quadratic, xs []float64, ys []float64, d int) {
 	n := len(ys)
 	alpha := acc.Alpha
@@ -261,6 +269,8 @@ func (LinearTask) AccumulateBlock(acc *poly.Quadratic, xs []float64, ys []float6
 // AccumulateBlock implements BlockTask for LogisticTask: the SYRK update
 // scaled by ⅛ on M and α[a] += (½−y)·x[a], fused per tile like LinearTask's;
 // the n·log 2 constant stays in FinalizeObjective.
+//
+//fm:noalloc
 func (LogisticTask) AccumulateBlock(acc *poly.Quadratic, xs []float64, ys []float64, d int) {
 	n := len(ys)
 	alpha := acc.Alpha
@@ -285,6 +295,8 @@ func (LogisticTask) AccumulateBlock(acc *poly.Quadratic, xs []float64, ys []floa
 
 // AccumulateBlock implements BlockTask for RidgeTask by delegating to
 // LinearTask, exactly like AccumulateRecord: the penalty involves no data.
+//
+//fm:noalloc
 func (RidgeTask) AccumulateBlock(acc *poly.Quadratic, xs []float64, ys []float64, d int) {
 	LinearTask{}.AccumulateBlock(acc, xs, ys, d)
 }

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Loading strategy: the analyzers need full type information, but the build
+// environment resolves no external modules, so go/packages is unavailable.
+// Instead the loader leans on the toolchain itself: `go list -deps -export`
+// compiles every dependency (stdlib included) into the build cache and hands
+// back per-package export-data files, and go/importer's "gc" mode consumes
+// them through a lookup function. Target packages are then parsed and
+// type-checked from source — with comments, which the directive-driven
+// analyzers need — while every import resolves instantly from export data.
+// Everything here is offline: the only network a run could want was already
+// spent building the module.
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Error      *listPkgError
+}
+
+type listPkgError struct {
+	Err string
+}
+
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e",
+		"-json=ImportPath,Dir,Standard,Export,GoFiles,Error"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup is the gc-importer hook: import path → export-data stream.
+type exportLookup map[string]string
+
+func (m exportLookup) open(path string) (io.ReadCloser, error) {
+	file, ok := m[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load loads the packages matching patterns (resolved by `go list` in dir,
+// e.g. "./...") and type-checks each from source, resolving imports through
+// export data. It returns a Program ready for Run.
+func Load(dir string, patterns ...string) (*Program, error) {
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := exportLookup{}
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exports.open)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue // test-only or empty package: nothing to analyze
+		}
+		files, err := parseDir(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Path: t.ImportPath, Files: files, Types: tpkg, Info: info})
+	}
+	return NewProgram(fset, pkgs), nil
+}
+
+// LoadFixtures loads analyzer test fixtures laid out GOPATH-style under
+// root/src: each requested path names the directory root/src/<path>, and
+// fixture packages may import one another by those paths. Imports that are
+// not fixtures resolve as real packages via `go list -export` (stdlib,
+// mostly). Every loaded fixture package — requested or imported — lands in
+// the Program, so call-path analyzers see the whole fixture world.
+func LoadFixtures(root string, paths ...string) (*Program, error) {
+	fset := token.NewFileSet()
+	l := &fixtureLoader{
+		root:   root,
+		fset:   fset,
+		parsed: map[string][]*ast.File{},
+		loaded: map[string]*Package{},
+	}
+	// Pre-scan: parse every reachable fixture package and collect the
+	// non-fixture imports, so one `go list` run can resolve them all.
+	externals := map[string]bool{}
+	var scan func(path string) error
+	scan = func(path string) error {
+		if _, ok := l.parsed[path]; ok {
+			return nil
+		}
+		dir := filepath.Join(root, "src", filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fixture %s: %v", path, err)
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		files, err := parseDir(fset, dir, names)
+		if err != nil {
+			return err
+		}
+		l.parsed[path] = files
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				imp, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					return err
+				}
+				if l.isFixture(imp) {
+					if err := scan(imp); err != nil {
+						return err
+					}
+				} else {
+					externals[imp] = true
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := scan(p); err != nil {
+			return nil, err
+		}
+	}
+
+	l.exports = exportLookup{}
+	if len(externals) > 0 {
+		var args []string
+		for imp := range externals {
+			args = append(args, imp)
+		}
+		sort.Strings(args)
+		deps, err := goList("", append([]string{"-deps", "-export"}, args...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range deps {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	l.imp = importer.ForCompiler(fset, "gc", l.exports.open)
+
+	for path := range l.parsed {
+		if _, err := l.load(path); err != nil {
+			return nil, err
+		}
+	}
+	var pkgs []*Package
+	for _, p := range l.loaded {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return NewProgram(fset, pkgs), nil
+}
+
+type fixtureLoader struct {
+	root    string
+	fset    *token.FileSet
+	parsed  map[string][]*ast.File
+	loaded  map[string]*Package
+	exports exportLookup
+	imp     types.Importer
+}
+
+func (l *fixtureLoader) isFixture(path string) bool {
+	st, err := os.Stat(filepath.Join(l.root, "src", filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// Import chains fixture resolution over the export-data importer, so a
+// fixture's type-check sees sibling fixtures from source and everything else
+// from export data.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if _, ok := l.parsed[path]; ok {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.imp.Import(path)
+}
+
+func (l *fixtureLoader) load(path string) (*Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, l.parsed[path], info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	p := &Package{Path: path, Files: l.parsed[path], Types: tpkg, Info: info}
+	l.loaded[path] = p
+	return p, nil
+}

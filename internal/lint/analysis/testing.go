@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// RunTest is the fixture harness, mirroring analysistest.Run: it loads the
+// fixture packages under root/src (plus everything they import), runs the
+// analyzer, and compares findings against expectation comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Every finding must match an expectation on its exact file:line, and every
+// expectation must be matched by exactly one finding. Suppression directives
+// apply before matching, so fixtures exercise //fmlint:ignore too: a
+// suppressed line simply carries no want comment.
+func RunTest(t *testing.T, root string, a *Analyzer, paths ...string) {
+	t.Helper()
+	prog, err := LoadFixtures(root, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := Run(prog, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type want struct {
+		rx      *regexp.Regexp
+		matched bool
+	}
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*want{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantLineRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Slash)
+					for _, lit := range wantLitRe.FindAllString(m[1], -1) {
+						s, err := strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+						}
+						rx, err := regexp.Compile(s)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+						}
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], &want{rx: rx})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		var hit *want
+		for _, w := range wants[k] {
+			if !w.matched && w.rx.MatchString(f.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		hit.matched = true
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no %s finding matched want %q", k.file, k.line, a.Name, w.rx)
+			}
+		}
+	}
+}
+
+var (
+	wantLineRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+	wantLitRe  = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+)

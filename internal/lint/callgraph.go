@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"funcmech/internal/lint/analysis"
+)
+
+// The charge-before-noise invariant is a property of call *paths*, not of
+// any single function body, so the analyzer works over a whole-program
+// static call graph: every statically resolvable call edge between declared
+// functions in the loaded packages. Calls through interfaces and function
+// values are invisible to it — the repo's noise paths (funcmech fit entry
+// points → core.Run/RunFromQuadratic → Perturb → Laplace.Sample) are all
+// direct calls, and keeping them that way is part of what the annotation
+// discipline documents.
+
+// callSite is one call expression inside a function, in source order.
+type callSite struct {
+	pos    token.Pos
+	callee string // funcKey of the resolved callee ("" if dynamic)
+}
+
+type callGraph struct {
+	// callers maps callee key → caller keys.
+	callers map[string]map[string]bool
+	// sites maps caller key → its call sites in source order.
+	sites map[string][]callSite
+	// annotated holds the keys of //fmlint:releases-noise functions.
+	annotated map[string]bool
+}
+
+// releasesNoiseDirective marks an audited release site; see package doc.
+const releasesNoiseDirective = "//fmlint:releases-noise"
+
+// programCallGraph builds (once per Program) the static call graph over all
+// loaded packages. Calls inside function literals are attributed to the
+// enclosing declared function — for taint purposes a closure's calls are its
+// owner's.
+func programCallGraph(prog *analysis.Program) *callGraph {
+	return prog.Cached("lint.callgraph", func() any {
+		g := &callGraph{
+			callers:   map[string]map[string]bool{},
+			sites:     map[string][]callSite{},
+			annotated: map[string]bool{},
+		}
+		for _, pkg := range prog.Packages {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					caller := funcKey(fn)
+					if caller == "" {
+						continue
+					}
+					if hasDirective(fd.Doc, releasesNoiseDirective) {
+						g.annotated[caller] = true
+					}
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						callee := funcKey(calleeOf(pkg.Info, call))
+						g.sites[caller] = append(g.sites[caller], callSite{pos: call.Pos(), callee: callee})
+						if callee != "" {
+							m := g.callers[callee]
+							if m == nil {
+								m = map[string]bool{}
+								g.callers[callee] = m
+							}
+							m[caller] = true
+						}
+						return true
+					})
+				}
+			}
+		}
+		for _, sites := range g.sites {
+			sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		}
+		return g
+	}).(*callGraph)
+}
+
+// reachers returns every function from which some seed is reachable along
+// call edges — i.e. the seeds plus every (transitive) caller. When
+// stopAtAnnotated is set, //fmlint:releases-noise functions never enter the
+// set: they are audited choke points, so reaching a seed *through* one is
+// sanctioned and their callers stay clean.
+func (g *callGraph) reachers(seeds map[string]bool, stopAtAnnotated bool) map[string]bool {
+	reach := map[string]bool{}
+	var work []string
+	for s := range seeds {
+		reach[s] = true
+		work = append(work, s)
+	}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for caller := range g.callers[cur] {
+			if reach[caller] {
+				continue
+			}
+			if stopAtAnnotated && g.annotated[caller] {
+				continue
+			}
+			reach[caller] = true
+			work = append(work, caller)
+		}
+	}
+	return reach
+}
+
+// funcSpec matches functions by package-name suffix, receiver type name
+// ("" for plain functions, "*" for any) and function name.
+type funcSpec struct {
+	pkg  string // final import-path element, e.g. "noise"; "*" for any
+	recv string // receiver type name; "" for none, "*" for any
+	name string
+}
+
+func (s funcSpec) matches(pkgPath string, fn *types.Func) bool {
+	if fn.Name() != s.name {
+		return false
+	}
+	if s.pkg != "*" && !pkgMatches(pkgPath, s.pkg) {
+		return false
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+	}
+	return s.recv == "*" || s.recv == recv
+}
+
+// seedKeys scans the program's declared functions for spec matches.
+func seedKeys(prog *analysis.Program, specs []funcSpec) map[string]bool {
+	seeds := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				for _, s := range specs {
+					if s.matches(pkg.Path, fn) {
+						seeds[funcKey(fn)] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return seeds
+}

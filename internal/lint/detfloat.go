@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"funcmech/internal/lint/analysis"
+)
+
+// DetFloat guards the bit-identity guarantee (PRs 1/3/4): the objective
+// coefficients, accumulators, and kernels must produce byte-identical floats
+// run-to-run, and float addition is not associative — so folding values into
+// float state while ranging over a map silently ties the result to Go's
+// randomized iteration order. In the bit-identity packages every such fold
+// must iterate a deterministically ordered view (e.g. poly.Terms()) instead.
+//
+// The check flags compound float assignments (+=, -=, *=, /=) and
+// self-referential plain assignments (s = s + v) inside a range-over-map
+// body when the assigned variable is declared *outside* the range statement.
+// Mutating the per-iteration copy (for _, t := range m { t.X *= c }) is
+// order-independent and allowed.
+var DetFloat = &analysis.Analyzer{
+	Name: "detfloat",
+	Doc:  "bit-identity packages must not accumulate into float state while ranging over a map: iteration order is nondeterministic",
+	Run:  runDetFloat,
+}
+
+// detFloatPkgs are the packages whose outputs must be bit-identical.
+var detFloatPkgs = []string{"core", "stream", "poly", "linalg"}
+
+func runDetFloat(pass *analysis.Pass) error {
+	if !pkgMatches(pass.Pkg.Path, detFloatPkgs...) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if tv, ok := info.Types[rs.X]; ok && isMap(tv.Type) {
+				checkMapRangeBody(pass, rs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *analysis.Pass, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	declaredOutside := func(e ast.Expr) bool {
+		obj := baseObject(info, e)
+		return obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End())
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		compound := st.Tok == token.ADD_ASSIGN || st.Tok == token.SUB_ASSIGN ||
+			st.Tok == token.MUL_ASSIGN || st.Tok == token.QUO_ASSIGN
+		for i, lhs := range st.Lhs {
+			tv, ok := info.Types[lhs]
+			if !ok || !isFloat(tv.Type) || !declaredOutside(lhs) {
+				continue
+			}
+			selfRef := st.Tok == token.ASSIGN && i < len(st.Rhs) &&
+				mentionsObject(info, st.Rhs[i], baseObject(info, lhs))
+			if compound || selfRef {
+				pass.Reportf(lhs.Pos(),
+					"float accumulation into %s inside range over map: iteration order is nondeterministic; fold over a sorted view instead",
+					types.ExprString(lhs))
+			}
+		}
+		return true
+	})
+}
+
+// mentionsObject reports whether e references obj anywhere.
+func mentionsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"funcmech/internal/lint/analysis"
+)
+
+// NakedRand guards both the privacy and the reproducibility story: every bit
+// of randomness that can influence a released value must flow through the
+// seeded noise plumbing (noise.NewRand → *rand.Rand threaded explicitly), and
+// deterministic packages must not read the wall clock. Ambient entropy —
+// package-level math/rand calls drawing from the global stream — and time.Now
+// are both forbidden in the privacy-critical packages.
+//
+// Calls on an explicitly threaded *rand.Rand value are fine (the caller owns
+// the seed); only package-level selectors are flagged. The noise package
+// itself may call the generator constructors (rand.New, rand.NewSource, and
+// the v2 equivalents) — that is where the blessed plumbing lives. Stats or
+// latency instrumentation that genuinely wants the wall clock takes an
+// //fmlint:ignore with its justification.
+var NakedRand = &analysis.Analyzer{
+	Name: "nakedrand",
+	Doc:  "privacy-critical packages must not use ambient math/rand entropy or time.Now; randomness flows through the seeded noise plumbing",
+	Run:  runNakedRand,
+}
+
+// nakedRandPkgs are the privacy-critical packages ("funcmech" is the module
+// root). census is deliberately absent: it is a seeded synthetic-data
+// generator, not on any release path.
+var nakedRandPkgs = []string{
+	"funcmech", "core", "noise", "poly", "linalg", "stream", "dataset", "regression", "wal",
+}
+
+// randConstructors may be called from the noise package only.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runNakedRand(pass *analysis.Pass) error {
+	if !pkgMatches(pass.Pkg.Path, nakedRandPkgs...) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	inNoise := pkgMatches(pass.Pkg.Path, "noise")
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(info, sel.X)
+			if pn == nil {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if inNoise && randConstructors[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s: ambient math/rand entropy is forbidden in this package; thread a seeded *rand.Rand from noise.NewRand instead",
+					types.ExprString(sel))
+			case "time":
+				if sel.Sel.Name == "Now" {
+					pass.Reportf(call.Pos(),
+						"time.Now: wall-clock reads break reproducibility in this package; inject timestamps from the caller")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"funcmech/internal/lint/analysis"
+)
+
+// noallocDirective marks a function whose body must not allocate.
+const noallocDirective = "//fm:noalloc"
+
+// NoAlloc protects the zero-allocations-per-op results (PR 4's blocked SYRK
+// kernel, AddFlat, the pooled ingest decoder) structurally: a function whose
+// doc comment carries //fm:noalloc may not contain the operations that
+// allocate — append (growth can reallocate the backing array), make, new,
+// function literals (closures escape), or map writes (bucket growth).
+//
+// The check is syntactic over the annotated body only: allocations inside
+// callees are the callees' business (annotate them too), and
+// escape-analysis-dependent cases (composite literals, interface
+// conversions) are out of scope — the benchmarks' allocs/op assertions
+// backstop those.
+var NoAlloc = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "//fm:noalloc functions must stay allocation-free: no append/make/new, no closures, no map writes",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, noallocDirective) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					b, ok := info.Uses[id].(*types.Builtin)
+					if !ok {
+						return true
+					}
+					switch b.Name() {
+					case "append":
+						pass.Reportf(x.Pos(), "append in %s function may grow the backing array and allocate", noallocDirective)
+					case "make", "new":
+						pass.Reportf(x.Pos(), "%s allocates in %s function", b.Name(), noallocDirective)
+					}
+				case *ast.FuncLit:
+					pass.Reportf(x.Pos(), "function literal in %s function allocates a closure; hoist it to a package-level helper", noallocDirective)
+					return false
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						ie, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+						if !ok {
+							continue
+						}
+						if tv, ok := info.Types[ie.X]; ok && isMap(tv.Type) {
+							pass.Reportf(lhs.Pos(), "map write in %s function may allocate a bucket", noallocDirective)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"funcmech/internal/lint"
+	"funcmech/internal/lint/analysis"
+)
+
+// TestRepositoryPassesClean is the enforcement test: the full suite over the
+// full module must be silent. A failure here means a change violated one of
+// the machine-checked invariants (or needs an //fmlint:ignore with its
+// justification) — the same gate CI applies via `go run ./cmd/fmlint ./...`.
+func TestRepositoryPassesClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is not short")
+	}
+	prog, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := analysis.Run(prog, lint.Suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"funcmech/internal/lint/analysis"
+)
+
+// SyncAfterRename guards the crash-durability half of the WAL story (PR 5):
+// an os.Rename installs a file atomically, but the new directory entry is not
+// durable until the parent directory itself is fsynced. Every os.Rename must
+// therefore be followed — lexically, in the same function — by a SyncDir
+// call (wal.SyncDir in the real tree). A rename whose durability is handled
+// elsewhere needs an //fmlint:ignore with the reason.
+var SyncAfterRename = &analysis.Analyzer{
+	Name: "syncafterrename",
+	Doc:  "os.Rename of a durable artifact must be followed by SyncDir on the parent directory in the same function",
+	Run:  runSyncAfterRename,
+}
+
+func runSyncAfterRename(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var renames, syncs []token.Pos
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.SelectorExpr:
+					if pn := pkgNameOf(info, fun.X); pn != nil && pn.Imported().Path() == "os" && fun.Sel.Name == "Rename" {
+						renames = append(renames, call.Pos())
+					} else if fun.Sel.Name == "SyncDir" {
+						syncs = append(syncs, call.Pos())
+					}
+				case *ast.Ident:
+					if fun.Name == "SyncDir" {
+						syncs = append(syncs, call.Pos())
+					}
+				}
+				return true
+			})
+			for _, r := range renames {
+				followed := false
+				for _, s := range syncs {
+					if s > r {
+						followed = true
+						break
+					}
+				}
+				if !followed {
+					pass.Reportf(r, "os.Rename not followed by a SyncDir call in this function: the replace is not durable until the parent directory is fsynced")
+				}
+			}
+		}
+	}
+	return nil
+}

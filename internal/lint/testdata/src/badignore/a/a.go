@@ -1,0 +1,12 @@
+// Package a holds a justification-free //fmlint:ignore: it must suppress
+// nothing and surface as a malformed-directive finding itself.
+package a
+
+// grow is annotated hot but tries to wave the append through without a
+// reason.
+//
+//fm:noalloc
+func grow(xs []float64, v float64) []float64 {
+	//fmlint:ignore noalloc
+	return append(xs, v)
+}

@@ -1,0 +1,10 @@
+// Package noise is the chargebeforenoise fixture's stand-in for the real
+// noise package: Laplace.Sample and SampleVec are the seeds the analyzer
+// hunts for.
+package noise
+
+type Laplace struct{ Scale float64 }
+
+func (l *Laplace) Sample() float64 { return l.Scale }
+
+func (l *Laplace) SampleVec(n int) []float64 { return make([]float64, n) }

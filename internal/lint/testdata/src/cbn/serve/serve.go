@@ -1,0 +1,76 @@
+// Package serve exercises chargebeforenoise: noise is released only inside
+// annotated functions, and annotated functions charge-then-journal before the
+// first draw.
+package serve
+
+import (
+	"cbn/noise"
+	"cbn/wal"
+)
+
+type Session struct{ spent float64 }
+
+func (s *Session) Charge(eps float64) { s.spent += eps }
+
+type server struct {
+	sess *Session
+	log  *wal.Log
+	lap  *noise.Laplace
+}
+
+// chargeDurable charges the session and journals the spend; it reaches both
+// the charge and the WAL seeds, so one call satisfies the discipline.
+func (s *server) chargeDurable(eps float64) error {
+	s.sess.Charge(eps)
+	return s.log.Append([]byte("charge"))
+}
+
+// handleFit is the conforming audited path: charge, journal, then release.
+//
+//fmlint:releases-noise
+func (s *server) handleFit() float64 {
+	if err := s.chargeDurable(0.5); err != nil {
+		return 0
+	}
+	return s.lap.Sample()
+}
+
+// handleLeak releases noise with no annotation at all.
+func (s *server) handleLeak() float64 {
+	return s.lap.Sample() // want `reaches a noise draw`
+}
+
+// handleEager is annotated but draws noise before the charge lands.
+//
+//fmlint:releases-noise
+func (s *server) handleEager() float64 {
+	v := s.lap.Sample() // want `before a durable budget charge`
+	if err := s.chargeDurable(0.5); err != nil {
+		return 0
+	}
+	return v
+}
+
+// handleUnjournaled is annotated and charges, but never journals the spend.
+//
+//fmlint:releases-noise
+func (s *server) handleUnjournaled() float64 {
+	s.sess.Charge(0.5)
+	return s.lap.Sample() // want `before the charge is journaled`
+}
+
+// handleIndirect reaches noise through an unannotated helper: the taint
+// propagates up the call chain.
+func (s *server) handleIndirect() float64 {
+	return fitModel(s.lap) // want `reaches a noise draw`
+}
+
+func fitModel(l *noise.Laplace) float64 {
+	return l.Sample() // want `reaches a noise draw`
+}
+
+// dispatch calls only the audited handler: reaching noise *through* an
+// annotated release site is sanctioned, so routing stays clean.
+func (s *server) dispatch() float64 {
+	return s.handleFit()
+}

@@ -1,0 +1,10 @@
+// Package wal is the chargebeforenoise fixture's stand-in for the real WAL:
+// Log.Append is the journaling seed.
+package wal
+
+type Log struct{ n int }
+
+func (l *Log) Append(rec []byte) error {
+	l.n += len(rec)
+	return nil
+}

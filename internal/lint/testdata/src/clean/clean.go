@@ -1,0 +1,6 @@
+// Package clean is a trivial conforming package: the whole suite must run
+// over it and report nothing.
+package clean
+
+// Add is deterministic, allocation-free, and draws no noise.
+func Add(a, b float64) float64 { return a + b }

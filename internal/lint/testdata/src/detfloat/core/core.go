@@ -1,0 +1,58 @@
+// Package core exercises detfloat: float accumulation under range-over-map
+// in a bit-identity package.
+package core
+
+type point struct{ x float64 }
+
+// SumLoose folds a map in iteration order — nondeterministic.
+func SumLoose(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `float accumulation`
+	}
+	return s
+}
+
+// SumSelfRef accumulates through a plain self-referential assignment.
+func SumSelfRef(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s = s + v // want `float accumulation`
+	}
+	return s
+}
+
+// AccumVec folds into an outer slice elementwise under map order.
+func AccumVec(g []float64, m map[int]float64) {
+	for i, v := range m {
+		g[i%len(g)] += v // want `float accumulation`
+	}
+}
+
+// SumKeys is the conforming shape: fold over a deterministically ordered
+// view, not the map itself.
+func SumKeys(keys []string, m map[string]float64) float64 {
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// Count accumulates an int — order-independent, allowed.
+func Count(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// ScaleInPlace mutates the per-iteration copy and writes it back; no float
+// state declared outside the range is accumulated into.
+func ScaleInPlace(m map[string]point) {
+	for k, p := range m {
+		p.x *= 2
+		m[k] = p
+	}
+}

@@ -1,0 +1,35 @@
+// Package core exercises nakedrand in a privacy-critical package.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the global math/rand stream.
+func Jitter() float64 {
+	return rand.Float64() // want `math/rand`
+}
+
+// Reseed touches the blessed constructors, but outside the noise package.
+func Reseed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `math/rand` `math/rand`
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}
+
+// Elapsed uses time APIs that are not Now — allowed.
+func Elapsed(d time.Duration) float64 { return d.Seconds() }
+
+// Seeded draws through an explicitly threaded *rand.Rand — allowed: the
+// caller owns the seed.
+func Seeded(r *rand.Rand) float64 { return r.Float64() }
+
+// StampAudited is a sanctioned wall-clock read with its justification.
+func StampAudited() int64 {
+	//fmlint:ignore nakedrand latency metadata only, never enters released values
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,15 @@
+// Package noise may call the generator constructors — the blessed seeded
+// plumbing lives here — but still must not draw from the global stream.
+package noise
+
+import "math/rand"
+
+// NewRand is the blessed constructor shape.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Global leaks the package-level stream even inside noise.
+func Global() float64 {
+	return rand.Float64() // want `math/rand`
+}

@@ -1,0 +1,62 @@
+// Package a exercises noalloc on //fm:noalloc-annotated hot functions.
+package a
+
+// sumAnnotated is the conforming hot loop: index math only.
+//
+//fm:noalloc
+func sumAnnotated(xs []float64) float64 {
+	var s float64
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+// growAnnotated appends inside a hot function.
+//
+//fm:noalloc
+func growAnnotated(xs []float64, v float64) []float64 {
+	return append(xs, v) // want `append`
+}
+
+// buildAnnotated makes a slice per call.
+//
+//fm:noalloc
+func buildAnnotated(n int) []float64 {
+	return make([]float64, n) // want `make`
+}
+
+// boxAnnotated heap-allocates with new.
+//
+//fm:noalloc
+func boxAnnotated() *float64 {
+	return new(float64) // want `new`
+}
+
+// captureAnnotated allocates a closure.
+//
+//fm:noalloc
+func captureAnnotated(xs []float64) func() float64 {
+	return func() float64 { return xs[0] } // want `function literal`
+}
+
+// indexAnnotated writes a map entry.
+//
+//fm:noalloc
+func indexAnnotated(m map[int]float64, k int, v float64) {
+	m[k] = v // want `map write`
+}
+
+// pooledAnnotated appends into a caller-owned buffer, suppressed with the
+// pooled-buffer justification.
+//
+//fm:noalloc
+func pooledAnnotated(dst []float64, v float64) []float64 {
+	//fmlint:ignore noalloc pooled buffer growth amortizes to zero steady-state allocations
+	return append(dst, v)
+}
+
+// growFree is unannotated: allocation is fine outside hot paths.
+func growFree(xs []float64, v float64) []float64 {
+	return append(xs, v)
+}

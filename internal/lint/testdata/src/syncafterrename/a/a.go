@@ -1,0 +1,37 @@
+// Package a exercises syncafterrename: every os.Rename must be followed by a
+// SyncDir call in the same function.
+package a
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// SyncDir stands in for wal.SyncDir.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// replaceDurable is the conforming shape: rename, then fsync the parent.
+func replaceDurable(tmp, dst string) error {
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(dst))
+}
+
+// replaceVolatile renames and forgets the directory fsync.
+func replaceVolatile(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want `not followed by a SyncDir`
+}
+
+// replaceAudited is a sanctioned exception, suppressed with a justification.
+func replaceAudited(tmp, dst string) error {
+	//fmlint:ignore syncafterrename caller fsyncs the directory once after a batched replace
+	return os.Rename(tmp, dst)
+}

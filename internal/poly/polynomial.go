@@ -100,22 +100,25 @@ func (p *Polynomial) Terms() []Term {
 	return out
 }
 
-// Eval returns f(ω).
+// Eval returns f(ω). It folds over the sorted Terms view, not the term map:
+// float addition is not associative, so summing in map order would make the
+// result depend on Go's randomized iteration.
 func (p *Polynomial) Eval(w []float64) float64 {
 	var s float64
-	for _, t := range p.terms {
+	for _, t := range p.Terms() {
 		s += t.Coef * t.Mono.Eval(w)
 	}
 	return s
 }
 
-// Gradient returns ∇f(ω) computed from the analytic term derivatives.
+// Gradient returns ∇f(ω) computed from the analytic term derivatives,
+// folding in sorted term order for run-to-run bit identity.
 func (p *Polynomial) Gradient(w []float64) []float64 {
 	if len(w) != p.d {
 		panic(fmt.Sprintf("poly: Gradient with %d-vector on %d-variable polynomial", len(w), p.d))
 	}
 	g := make([]float64, p.d)
-	for _, t := range p.terms {
+	for _, t := range p.Terms() {
 		for i := 0; i < p.d; i++ {
 			if t.Mono.Exponent(i) == 0 {
 				continue
@@ -177,9 +180,11 @@ func (p *Polynomial) Clone() *Polynomial {
 // CoefL1Norm returns Σ_φ |λ_φ| over all terms of degree ≥ minDegree. With
 // minDegree = 1 this is exactly the inner sum of the sensitivity bound in
 // Algorithm 1, line 1 (the paper's Δ sums over j ≥ 1).
+// The fold runs in sorted term order so the sensitivity — which scales the
+// released noise — is itself bit-identical across runs.
 func (p *Polynomial) CoefL1Norm(minDegree int) float64 {
 	var s float64
-	for _, t := range p.terms {
+	for _, t := range p.Terms() {
 		if t.Mono.Degree() >= minDegree {
 			s += math.Abs(t.Coef)
 		}

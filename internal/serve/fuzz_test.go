@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzParseFlatRows differential-fuzzes the zero-allocation ingest decoder
+// against encoding/json: whenever the scanner accepts an input, the generic
+// [][]float64 decode must accept it too and yield bit-identical values — the
+// decoder's contract is "same values, no allocations", never "different
+// parse".
+func FuzzParseFlatRows(f *testing.F) {
+	f.Add([]byte(`[[1,2,3],[4,5,6]]`), 3)
+	f.Add([]byte(`[[1.5e-3,-0,2]]`), 3)
+	f.Add([]byte(`[]`), 2)
+	f.Add([]byte(`null`), 2)
+	f.Add([]byte(` [[0.1 , 2 ] ] `), 2)
+	f.Add([]byte(`[[1,2],[3]]`), 2)
+	f.Add([]byte(`[[1e309,0]]`), 2)
+	f.Fuzz(func(t *testing.T, raw []byte, want int) {
+		if want < 1 || want > 32 {
+			return
+		}
+		flat, err := parseFlatRows(raw, want, nil)
+		if err != nil {
+			return
+		}
+		if len(flat)%want != 0 {
+			t.Fatalf("accepted %d values, not a multiple of width %d", len(flat), want)
+		}
+		trimmed := bytes.TrimSpace(raw)
+		if len(trimmed) == 0 || string(trimmed) == "null" {
+			if len(flat) != 0 {
+				t.Fatalf("empty/null input produced %d values", len(flat))
+			}
+			return
+		}
+		var rows [][]float64
+		if jerr := json.Unmarshal(raw, &rows); jerr != nil {
+			t.Fatalf("scanner accepted %q but encoding/json rejects it: %v", raw, jerr)
+		}
+		var ref []float64
+		for i, row := range rows {
+			if len(row) != want {
+				t.Fatalf("scanner accepted row %d of width %d (want %d) in %q", i, len(row), want, raw)
+			}
+			ref = append(ref, row...)
+		}
+		if len(ref) != len(flat) {
+			t.Fatalf("scanner decoded %d values, encoding/json %d, from %q", len(flat), len(ref), raw)
+		}
+		for i := range ref {
+			if math.Float64bits(ref[i]) != math.Float64bits(flat[i]) {
+				t.Fatalf("value %d diverged: scanner %v, encoding/json %v, from %q", i, flat[i], ref[i], raw)
+			}
+		}
+	})
+}

@@ -28,6 +28,16 @@ var numberChars = [256]bool{
 
 func isJSONSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
 
+// skipJSONSpace advances i past any JSON whitespace in raw. A top-level
+// helper rather than a closure so the hot decode path stays closure-free
+// (see //fm:noalloc on parseFlatRows).
+func skipJSONSpace(raw []byte, i int) int {
+	for i < len(raw) && isJSONSpace(raw[i]) {
+		i++
+	}
+	return i
+}
+
 // isJSONNumber reports whether tok matches RFC 8259's number grammar:
 // -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
 func isJSONNumber(tok []byte) bool {
@@ -74,14 +84,10 @@ func isJSONNumber(tok []byte) bool {
 // array yields an empty result (the stream layer rejects empty batches with
 // its own error). Numbers decode with strconv.ParseFloat — the same routine
 // encoding/json uses — so the values are bit-identical to a generic decode.
+//
+//fm:noalloc
 func parseFlatRows(raw []byte, want int, dst []float64) ([]float64, error) {
-	i := 0
-	skipWS := func() {
-		for i < len(raw) && isJSONSpace(raw[i]) {
-			i++
-		}
-	}
-	skipWS()
+	i := skipJSONSpace(raw, 0)
 	if i == len(raw) {
 		return dst, nil
 	}
@@ -92,24 +98,24 @@ func parseFlatRows(raw []byte, want int, dst []float64) ([]float64, error) {
 		return dst, fmt.Errorf("rows must be an array of arrays")
 	}
 	i++
-	skipWS()
+	i = skipJSONSpace(raw, i)
 	if i < len(raw) && raw[i] == ']' {
 		i++
-		skipWS()
+		i = skipJSONSpace(raw, i)
 		if i != len(raw) {
 			return dst, fmt.Errorf("trailing data after rows array")
 		}
 		return dst, nil
 	}
 	for row := 0; ; row++ {
-		skipWS()
+		i = skipJSONSpace(raw, i)
 		if i >= len(raw) || raw[i] != '[' {
 			return dst, fmt.Errorf("row %d: expected an array of numbers", row)
 		}
 		i++
 		cols := 0
 		for {
-			skipWS()
+			i = skipJSONSpace(raw, i)
 			start := i
 			for i < len(raw) && numberChars[raw[i]] {
 				i++
@@ -127,9 +133,10 @@ func parseFlatRows(raw []byte, want int, dst []float64) ([]float64, error) {
 			if err != nil {
 				return dst, fmt.Errorf("row %d: invalid number at column %d", row, cols)
 			}
+			//fmlint:ignore noalloc appends into the pooled batch buffer; growth amortizes to zero steady-state allocations
 			dst = append(dst, v)
 			cols++
-			skipWS()
+			i = skipJSONSpace(raw, i)
 			if i >= len(raw) {
 				return dst, fmt.Errorf("row %d: unterminated array", row)
 			}
@@ -146,7 +153,7 @@ func parseFlatRows(raw []byte, want int, dst []float64) ([]float64, error) {
 		if cols != want {
 			return dst, fmt.Errorf("row %d has %d values, want %d features + target", row, cols, want)
 		}
-		skipWS()
+		i = skipJSONSpace(raw, i)
 		if i >= len(raw) {
 			return dst, fmt.Errorf("unterminated rows array")
 		}
@@ -160,7 +167,7 @@ func parseFlatRows(raw []byte, want int, dst []float64) ([]float64, error) {
 		}
 		return dst, fmt.Errorf("unexpected character %q after row %d", raw[i], row)
 	}
-	skipWS()
+	i = skipJSONSpace(raw, i)
 	if i != len(raw) {
 		return dst, fmt.Errorf("trailing data after rows array")
 	}

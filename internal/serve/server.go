@@ -476,6 +476,11 @@ func (o fitOptions) build(model string, gov *Governor) ([]funcmech.Option, error
 	return opts, nil
 }
 
+// handleFit is an audited noise release site: the fit below draws Laplace
+// noise only after chargeDurable has debited the session and journaled the
+// spend to the fsynced WAL.
+//
+//fmlint:releases-noise
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	var req fitRequest
 	if !decodeBody(w, r, &req) {

@@ -213,6 +213,10 @@ func (o refitOptions) build(model string) ([]funcmech.Option, error) {
 	return buildFitCore(o.PostProcess, o.LambdaFactor, o.Seed, model, o.RidgeWeight)
 }
 
+// handleRefit is an audited noise release site: the refit draws noise only
+// after chargeDurable has debited the session and journaled the spend.
+//
+//fmlint:releases-noise
 func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.streams.Lookup(r.PathValue("name"))
 	if !ok {

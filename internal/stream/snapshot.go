@@ -67,14 +67,15 @@ func (s *Stream) WriteSnapshot(w io.Writer, walLSN uint64) error {
 	refits, last := s.refitState() // one lock: counter and metadata agree
 	seq, seqBatches := s.Counts()
 	env := snapshotEnvelope{
-		Kind:        snapshotKind,
-		Name:        s.name,
-		Shards:      s.cfg.Shards,
-		Records:     uint64(merged.Len()),
-		Batches:     batches,
-		Refits:      refits,
-		WALLSN:      walLSN,
-		CreatedAt:   s.created,
+		Kind:      snapshotKind,
+		Name:      s.name,
+		Shards:    s.cfg.Shards,
+		Records:   uint64(merged.Len()),
+		Batches:   batches,
+		Refits:    refits,
+		WALLSN:    walLSN,
+		CreatedAt: s.created,
+		//fmlint:ignore nakedrand snapshot save time is provenance metadata only; restore never reads it into state
 		SavedAt:     time.Now().UTC(),
 		Accumulator: json.RawMessage(bytes.TrimSpace(acc.Bytes())),
 		Version:     snapshotVersion,

@@ -117,6 +117,7 @@ func New(name string, cfg Config) (*Stream, error) {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
+	//fmlint:ignore nakedrand creation wall-clock is display metadata only; it never enters accumulators or released values
 	s := &Stream{name: name, cfg: cfg, created: time.Now(), shards: make([]*shard, cfg.Shards)}
 	for i := range s.shards {
 		acc, err := newAccumulator(cfg)

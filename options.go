@@ -127,6 +127,7 @@ func buildConfig(opts []Option) config {
 		if c.hasSeed {
 			c.rng = noise.NewRand(c.seed)
 		} else {
+			//fmlint:ignore nakedrand documented default: unseeded fits draw a fresh stream; callers wanting reproducibility pass WithSeed
 			c.rng = rand.New(rand.NewSource(rand.Int63()))
 		}
 	}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# The full static gate in one command: gofmt, go vet, staticcheck, fmlint
+# (the repo's own analyzer suite, cmd/fmlint), and govulncheck. CI runs this
+# same script, so local runs and CI resolve identical tool versions — the
+# pins live here because the module itself is deliberately dependency-free
+# (see tools.go).
+#
+# staticcheck and govulncheck are external binaries. When one is absent it is
+# installed at the pinned version if FMLINT_INSTALL_TOOLS=1 (CI sets this);
+# otherwise that step is skipped with a warning so the script stays useful on
+# machines without network access. gofmt, go vet, and fmlint always run —
+# they need nothing beyond the toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STATICCHECK_VERSION="${STATICCHECK_VERSION:-2025.1.1}"
+GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.4}"
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "files need gofmt:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+run_tool() {
+  local name="$1" module="$2"
+  shift 2
+  if ! command -v "$name" >/dev/null 2>&1; then
+    if [ "${FMLINT_INSTALL_TOOLS:-0}" = "1" ]; then
+      go install "$module"
+    else
+      echo "warning: $name not installed; skipping (set FMLINT_INSTALL_TOOLS=1 to install $module)" >&2
+      return 0
+    fi
+  fi
+  "$name" "$@"
+}
+
+echo "== staticcheck"
+run_tool staticcheck "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" ./...
+
+echo "== fmlint"
+go run ./cmd/fmlint ./...
+
+echo "== govulncheck"
+run_tool govulncheck "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}" ./...
+
+echo "lint: all gates passed"

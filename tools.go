@@ -1,0 +1,15 @@
+//go:build tools
+
+// Tool dependency pinning. The canonical idiom blank-imports each tool's
+// command package here so go.mod records its exact version. This module is
+// deliberately dependency-free and must build in environments with no module
+// proxy, so the pins live as version strings in scripts/lint.sh instead —
+// both CI and local runs install tools through that one script, resolving
+// identical versions:
+//
+//	staticcheck  honnef.co/go/tools/cmd/staticcheck @2025.1.1
+//	govulncheck  golang.org/x/vuln/cmd/govulncheck  @v1.1.4
+//
+// If the module ever grows real dependencies (and a go.sum), migrate these
+// to blank imports in this file so `go mod` owns the pinning.
+package funcmech
