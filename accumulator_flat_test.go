@@ -2,6 +2,7 @@ package funcmech_test
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"funcmech"
+	"funcmech/internal/fmbin"
 )
 
 // flatRecords generates n raw records for incomeSchema() as one flat buffer
@@ -192,9 +194,67 @@ func TestAddFlatAllOrNothing(t *testing.T) {
 	}
 }
 
-// TestAccumulatorLegacyEnvelopeDecodes: a version-1 envelope (full d×d
-// coefficient matrices) must keep restoring after the packed-triangle
-// format change, producing a bit-identical accumulator.
+// downgradeEnvelope rewrites a current (version-3, binary-coefficient)
+// envelope into an earlier JSON shape: version 2 (packed mu arrays inline)
+// or version 1 (full d×d matrices). It decodes the fmbin coefficient frame
+// the same way LoadAccumulator does, so the rewritten envelopes carry the
+// exact same coefficient bits.
+func downgradeEnvelope(t *testing.T, current []byte, version int) []byte {
+	t.Helper()
+	var env map[string]any
+	if err := json.Unmarshal(current, &env); err != nil {
+		t.Fatal(err)
+	}
+	coeffs, err := base64.StdEncoding.DecodeString(env["coeffs"].(string))
+	if err != nil {
+		t.Fatalf("coeffs field is not base64: %v", err)
+	}
+	flat, cols, err := fmbin.Decode(coeffs, nil)
+	if err != nil || cols != 2 {
+		t.Fatalf("coeffs field is not a 2-column fmbin frame: cols=%d err=%v", cols, err)
+	}
+	rows := len(flat) / 2
+	d := 0
+	for d*(d+3)/2 != rows { // rows = d + d(d+1)/2
+		d++
+	}
+	for col, key := range []string{"linear", "logistic"} {
+		vals := make([]float64, rows)
+		for r := 0; r < rows; r++ {
+			vals[r] = flat[2*r+col]
+		}
+		alpha, mu := vals[:d], vals[d:]
+		st := env[key].(map[string]any)
+		st["alpha"] = alpha
+		switch version {
+		case 2:
+			st["mu"] = mu
+		case 1:
+			m := make([][]float64, d)
+			off := 0
+			for i := 0; i < d; i++ {
+				m[i] = make([]float64, d)
+				for j := i; j < d; j++ {
+					m[i][j] = mu[off]
+					off++
+				}
+			}
+			st["m"] = m
+		}
+	}
+	delete(env, "coeffs")
+	env["version"] = version
+	out, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAccumulatorLegacyEnvelopeDecodes: version-1 (full d×d matrices) and
+// version-2 (packed JSON triangles) envelopes must keep restoring after
+// the binary-coefficient format change, producing accumulators whose fits
+// are bit-identical to the live one's.
 func TestAccumulatorLegacyEnvelopeDecodes(t *testing.T) {
 	acc, err := funcmech.NewAccumulator(incomeSchema())
 	if err != nil {
@@ -208,50 +268,24 @@ func TestAccumulatorLegacyEnvelopeDecodes(t *testing.T) {
 	if err := acc.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-
-	// Rewrite the v2 envelope into the legacy v1 shape: unpack mu into the
-	// full matrix m, drop mu, stamp version 1.
-	var env map[string]any
-	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
-		t.Fatal(err)
-	}
-	for _, key := range []string{"linear", "logistic"} {
-		st := env[key].(map[string]any)
-		alpha := st["alpha"].([]any)
-		mu := st["mu"].([]any)
-		d := len(alpha)
-		m := make([][]float64, d)
-		off := 0
-		for i := 0; i < d; i++ {
-			m[i] = make([]float64, d)
-			for j := i; j < d; j++ {
-				m[i][j] = mu[off].(float64)
-				off++
-			}
-		}
-		st["m"] = m
-		delete(st, "mu")
-	}
-	env["version"] = 1
-	legacy, err := json.Marshal(env)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if strings.Contains(string(legacy), `"mu"`) {
-		t.Fatal("test setup: packed field survived the legacy rewrite")
-	}
-
-	back, err := funcmech.LoadAccumulator(bytes.NewReader(legacy))
-	if err != nil {
-		t.Fatalf("legacy v1 envelope failed to load: %v", err)
-	}
 	m1, _, err := funcmech.LinearRegressionFromAccumulator(acc, 0.8, funcmech.WithSeed(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, _, err := funcmech.LinearRegressionFromAccumulator(back, 0.8, funcmech.WithSeed(9))
-	if err != nil {
-		t.Fatal(err)
+
+	for _, version := range []int{1, 2} {
+		legacy := downgradeEnvelope(t, buf.Bytes(), version)
+		if strings.Contains(string(legacy), `"coeffs"`) {
+			t.Fatal("test setup: binary field survived the legacy rewrite")
+		}
+		back, err := funcmech.LoadAccumulator(bytes.NewReader(legacy))
+		if err != nil {
+			t.Fatalf("legacy v%d envelope failed to load: %v", version, err)
+		}
+		m2, _, err := funcmech.LinearRegressionFromAccumulator(back, 0.8, funcmech.WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameWeights(t, "legacy envelope restore", m1.Weights(), m2.Weights())
 	}
-	sameWeights(t, "legacy envelope restore", m1.Weights(), m2.Weights())
 }

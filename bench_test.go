@@ -7,9 +7,12 @@
 package funcmech_test
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -19,6 +22,7 @@ import (
 	"funcmech/internal/core"
 	"funcmech/internal/dataset"
 	"funcmech/internal/experiments"
+	"funcmech/internal/fmbin"
 	"funcmech/internal/noise"
 	"funcmech/internal/regression"
 	"funcmech/internal/stream"
@@ -366,6 +370,118 @@ func BenchmarkIngest(b *testing.B) {
 			}
 			b.ReportMetric(float64(batch), "records/op")
 		})
+	}
+}
+
+// telemetrySchema and telemetryFlat model the sparse-update sensor corpus
+// the binary wire format targets: full-precision channels where only a
+// couple change per record. That shape is where JSON hurts most (~20 ASCII
+// bytes per float64) and where fmbin's per-column XOR coding collapses the
+// unchanged channels to one byte each (docs/FORMAT.md §5).
+func telemetrySchema(features int) funcmech.Schema {
+	var schema funcmech.Schema
+	for i := 0; i < features; i++ {
+		schema.Features = append(schema.Features, funcmech.Attribute{Name: fmt.Sprintf("ch%d", i), Min: -200, Max: 200})
+	}
+	schema.Target = funcmech.Attribute{Name: "y", Min: -200, Max: 200}
+	return schema
+}
+
+// telemetryFlat returns n records of the given width (features + target)
+// in the flat row-major layout both the fmbin frame and IngestFlat use.
+func telemetryFlat(n, width int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	cur := make([]float64, width)
+	for c := range cur {
+		cur[c] = rng.Float64()*100 - 50
+	}
+	flat := make([]float64, 0, n*width)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 2; k++ { // ~2 channels drift per tick
+			cur[rng.Intn(width)] += rng.NormFloat64() * 0.01
+		}
+		flat = append(flat, cur...)
+	}
+	return flat
+}
+
+// jsonIngestBody renders the records as the JSON ingest request body, for
+// apples-to-apples wire-size comparison with the fmbin frame.
+func jsonIngestBody(tb testing.TB, flat []float64, width int) []byte {
+	tb.Helper()
+	rows := make([][]float64, len(flat)/width)
+	for i := range rows {
+		rows[i] = flat[i*width : (i+1)*width]
+	}
+	body, err := json.Marshal(map[string]any{"rows": rows})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return body
+}
+
+// BenchmarkIngestBinary measures the binary ingest path — fmbin frame
+// decode into a pooled buffer plus the same flat coefficient fold the JSON
+// path uses — and reports the wire bytes/record next to the JSON body's.
+// The ≥5× reduction bar is enforced deterministically by
+// TestFmbinWireReduction; the 0 allocs/op bar by scripts/bench_check.sh.
+func BenchmarkIngestBinary(b *testing.B) {
+	const width = 16 // 15 features + target
+	const batch = 1024
+	flat := telemetryFlat(batch, width, 3)
+	frame, err := fmbin.Encode(nil, flat, width, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jsonBody := jsonIngestBody(b, flat, width)
+	s, err := stream.New("bench", stream.Config{Schema: telemetrySchema(width - 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, 0, batch*width)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cols int
+		buf, cols, err = fmbin.Decode(frame, buf[:0])
+		if err != nil || cols != width {
+			b.Fatalf("cols=%d err=%v", cols, err)
+		}
+		if _, err := s.IngestFlat(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch), "records/op")
+	b.ReportMetric(float64(len(frame))/batch, "wire_bytes/record")
+	b.ReportMetric(float64(len(jsonBody))/float64(len(frame)), "json_reduction_x")
+}
+
+// TestFmbinWireReduction pins the wire-format acceptance criterion without
+// a benchmark run: on the telemetry corpus the compressed fmbin frame must
+// be at least 5× smaller per record than the JSON ingest body, and must
+// still decode bit-identically.
+func TestFmbinWireReduction(t *testing.T) {
+	const width = 16
+	flat := telemetryFlat(2048, width, 3)
+	frame, err := fmbin.Encode(nil, flat, width, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBody := jsonIngestBody(t, flat, width)
+	ratio := float64(len(jsonBody)) / float64(len(frame))
+	t.Logf("json %d bytes, fmbin %d bytes: %.2f× reduction (%.1f vs %.1f bytes/record)",
+		len(jsonBody), len(frame), ratio, float64(len(jsonBody))/2048, float64(len(frame))/2048)
+	if ratio < 5 {
+		t.Fatalf("binary frame is only %.2f× smaller than the JSON body, want ≥5×", ratio)
+	}
+	back, cols, err := fmbin.Decode(frame, nil)
+	if err != nil || cols != width {
+		t.Fatalf("decode: cols=%d err=%v", cols, err)
+	}
+	for i := range flat {
+		if math.Float64bits(back[i]) != math.Float64bits(flat[i]) {
+			t.Fatalf("value %d not bit-identical after round trip", i)
+		}
 	}
 }
 

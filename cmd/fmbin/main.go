@@ -1,0 +1,154 @@
+// Command fmbin encodes, decodes and inspects fmbin v1 frames — the
+// binary wire format of docs/FORMAT.md that POST /v1/streams/{name}/ingest
+// and POST /v1/datasets accept under Content-Type: application/x-fmbin.
+//
+// Usage:
+//
+//	fmbin encode [-raw] < rows.json > batch.fmbin
+//	fmbin decode < batch.fmbin > rows.json
+//	fmbin inspect < batch.fmbin
+//
+// encode reads a JSON array of numeric arrays (the same rows the JSON
+// ingest body carries, or the bare value of its "rows" field) and writes
+// one frame, compressed unless -raw is given. decode inverts it
+// bit-exactly. inspect prints the header, per-column coding tags and size
+// accounting without emitting the values.
+//
+// A typical binary ingest from the shell:
+//
+//	fmbin encode < rows.json |
+//	  curl -sS -X POST --data-binary @- \
+//	    -H 'Content-Type: application/x-fmbin' \
+//	    http://localhost:8080/v1/streams/readings/ingest
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"funcmech/internal/fmbin"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "encode":
+		compress := true
+		for _, arg := range os.Args[2:] {
+			if arg == "-raw" {
+				compress = false
+			} else {
+				usage()
+			}
+		}
+		err = encode(os.Stdin, os.Stdout, compress)
+	case "decode":
+		err = decode(os.Stdin, os.Stdout)
+	case "inspect":
+		err = inspect(os.Stdin, os.Stdout)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmbin: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fmbin encode [-raw] | decode | inspect  (frames on stdin/stdout; see docs/FORMAT.md)")
+	os.Exit(2)
+}
+
+func encode(r io.Reader, w io.Writer, compress bool) error {
+	var rows [][]float64
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return fmt.Errorf("reading rows JSON: %w", err)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no rows to encode")
+	}
+	cols := len(rows[0])
+	flat := make([]float64, 0, len(rows)*cols)
+	for i, row := range rows {
+		if len(row) != cols {
+			return fmt.Errorf("row %d has %d values, row 0 has %d", i, len(row), cols)
+		}
+		flat = append(flat, row...)
+	}
+	frame, err := fmbin.Encode(nil, flat, cols, compress)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+func decode(r io.Reader, w io.Writer) error {
+	frame, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	flat, cols, err := fmbin.Decode(frame, nil)
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(flat)/cols)
+	for i := range rows {
+		rows[i] = flat[i*cols : (i+1)*cols]
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(rows)
+}
+
+func inspect(r io.Reader, w io.Writer) error {
+	frame, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	flat, cols, err := fmbin.Decode(frame, nil)
+	if err != nil {
+		return err
+	}
+	rows := len(flat) / cols
+	compressed := frame[5]&fmbin.FlagCompressed != 0
+	fmt.Fprintf(w, "fmbin v%d frame: %d rows × %d cols, %d bytes", frame[4], rows, cols, len(frame))
+	if rows > 0 {
+		fmt.Fprintf(w, " (%.1f bytes/record", float64(len(frame))/float64(rows))
+		if raw := fmbin.EncodedSize(flat, cols, false); compressed && raw > 0 {
+			fmt.Fprintf(w, ", %.2f× vs raw tier", float64(raw)/float64(len(frame)))
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+	if !compressed {
+		fmt.Fprintln(w, "payload: raw tier (row-major float64)")
+		return nil
+	}
+	// Walk the column blocks to report per-column tags and sizes.
+	payload := frame[fmbin.HeaderSize : len(frame)-fmbin.TrailerSize]
+	names := map[byte]string{fmbin.ColRaw: "raw", fmbin.ColXor: "xor-varint", fmbin.ColXorRev: "xor-varint-reversed"}
+	p := 0
+	for c := 0; c < cols; c++ {
+		tag := payload[p]
+		start := p
+		p++
+		switch tag {
+		case fmbin.ColRaw:
+			p += rows * 8
+		default:
+			for i := 0; i < rows; i++ {
+				_, n := binary.Uvarint(payload[p:])
+				p += n
+			}
+		}
+		fmt.Fprintf(w, "col %2d: %-19s %d bytes\n", c, names[tag], p-start)
+	}
+	return nil
+}

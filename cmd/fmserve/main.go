@@ -9,10 +9,15 @@
 // Beyond one-shot fits, streams accept records continuously
 // (POST /v1/streams, /v1/streams/{name}/ingest) and serve private refits
 // from live coefficient accumulators with no dataset rescan
-// (/v1/streams/{name}/refit). With -snapshot-dir the stream state is
+// (/v1/streams/{name}/refit). Ingest and dataset registration accept both
+// JSON bodies (the default) and the fmbin binary frame under
+// Content-Type: application/x-fmbin — see docs/FORMAT.md and cmd/fmbin for
+// encoding batches from the shell. With -snapshot-dir the stream state is
 // persisted — periodically when -snapshot-every > 0, and always on graceful
 // shutdown — and restored on boot, so a restarted server refits without
-// re-ingesting a single record.
+// re-ingesting a single record; snapshots store their coefficient payloads
+// as compressed fmbin frames (accumulator envelope v3), with earlier JSON
+// envelopes still restoring.
 //
 // With -wal-dir the privacy accounting is crash-safe: every budget debit is
 // appended to a write-ahead log (fsynced per commit unless -wal-fsync=false)

@@ -1,0 +1,309 @@
+// Package fmbin implements the fmbin v1 binary frame — the compact wire
+// and storage format for dense float64 matrices specified normatively in
+// docs/FORMAT.md. One frame carries `rows` records of `cols` values behind
+// a fixed little-endian header and a CRC-32C trailer, with an optional
+// per-column XOR-delta + varint compression tier that typically shrinks
+// telemetry-shaped batches 5–10× below their JSON encoding.
+//
+// The codec is allocation-free in steady state: Encode and Decode append
+// into caller-supplied buffers and grow them at most once per call, so
+// callers that pool their buffers (internal/serve, the snapshot
+// envelopes) pay zero allocations per frame after warm-up.
+//
+// Frames hold raw, un-noised values — ingest records or accumulator
+// coefficient sums — and are exactly as sensitive as their contents; see
+// docs/FORMAT.md §9 and docs/ARCHITECTURE.md.
+package fmbin
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/bits"
+)
+
+// Frame constants, normative in docs/FORMAT.md §8. scripts/check_docs.sh
+// greps each spec table row against this block, so renaming or revaluing
+// one without updating the spec fails CI.
+const (
+	// Magic is the four ASCII bytes every frame starts with (§2).
+	Magic = "FMBN"
+	// Version is the frame version this package encodes and decodes (§2, §9).
+	Version = 1
+	// FlagCompressed is header flags bit 0: the payload uses the
+	// per-column compressed tier of §5 instead of the raw tier of §4.
+	FlagCompressed = 0x01
+	// HeaderSize and TrailerSize bound the fixed frame overhead (§2).
+	HeaderSize  = 20
+	TrailerSize = 4
+	// MaxFrameValues caps rows×cols so a hostile header cannot make the
+	// decoder allocate unboundedly (§9).
+	MaxFrameValues = 1 << 24
+	// ContentType is the media type under which the serving layer accepts
+	// fmbin request bodies.
+	ContentType = "application/x-fmbin"
+)
+
+// Column tags of the compressed tier (§5).
+const (
+	// ColRaw stores the column's values verbatim, 8 bytes each.
+	ColRaw = 0x00
+	// ColXor stores uvarints of consecutive bit patterns XORed.
+	ColXor = 0x01
+	// ColXorRev stores the XORs byte-reversed before the uvarint, which
+	// moves the trailing mantissa zeros of round values into the varint's
+	// dropped high bytes.
+	ColXorRev = 0x02
+)
+
+// Decode errors. ErrVersion is the one callers dispatch on: the envelope
+// loaders wrap it into funcmech.ErrVersionMismatch.
+var (
+	// ErrNotFmbin reports input that does not begin with the magic.
+	ErrNotFmbin = errors.New("fmbin: not an fmbin frame")
+	// ErrTruncated reports a frame shorter than its fixed overhead.
+	ErrTruncated = errors.New("fmbin: truncated frame")
+	// ErrChecksum reports a CRC-32C trailer mismatch (§6).
+	ErrChecksum = errors.New("fmbin: checksum mismatch")
+	// ErrVersion reports an intact frame of a version this build does not
+	// speak (§9).
+	ErrVersion = errors.New("fmbin: unsupported frame version")
+	// ErrMalformed reports an intact v1 frame whose header fields or
+	// payload violate the format.
+	ErrMalformed = errors.New("fmbin: malformed frame")
+	// ErrTooLarge reports a frame claiming more than MaxFrameValues
+	// values (§9), or an Encode input that would produce one.
+	ErrTooLarge = errors.New("fmbin: frame exceeds MaxFrameValues values")
+)
+
+// castagnoli is the CRC-32C table of §6 (hash/crc32 memoizes Castagnoli
+// internally; holding the table skips the lookup per checksum).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// uvarintLen returns the encoded size of v as an unsigned LEB128 varint
+// without encoding it: one byte per started 7-bit group.
+//
+//fm:noalloc
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// colPlan picks the cheapest §5 encoding for one column of the row-major
+// matrix flat and returns its tag and exact body size in bytes (excluding
+// the tag byte). Ties break toward the lowest tag, as the spec's reference
+// encoder requires. It is called twice per column — once to size the
+// frame, once to write it — trading a second O(rows) pass for keeping the
+// encoder allocation-free.
+//
+//fm:noalloc
+func colPlan(flat []float64, cols, col int) (tag byte, size int) {
+	rows := len(flat) / cols
+	rawSize := rows * 8
+	xorSize, revSize := 0, 0
+	prev := uint64(0)
+	for r := 0; r < rows; r++ {
+		b := math.Float64bits(flat[r*cols+col])
+		x := b ^ prev
+		prev = b
+		xorSize += uvarintLen(x)
+		revSize += uvarintLen(bits.ReverseBytes64(x))
+	}
+	switch {
+	case rawSize <= xorSize && rawSize <= revSize:
+		return ColRaw, rawSize
+	case xorSize <= revSize:
+		return ColXor, xorSize
+	default:
+		return ColXorRev, revSize
+	}
+}
+
+// EncodedSize returns the exact byte length Encode will produce for the
+// given matrix and tier, without encoding it.
+//
+//fm:noalloc
+func EncodedSize(flat []float64, cols int, compress bool) int {
+	size := HeaderSize + TrailerSize
+	if !compress {
+		return size + 8*len(flat)
+	}
+	for c := 0; c < cols; c++ {
+		_, body := colPlan(flat, cols, c)
+		size += 1 + body
+	}
+	return size
+}
+
+// Encode appends one v1 frame carrying the row-major matrix flat
+// (len(flat)/cols records of cols values) to dst and returns the extended
+// slice. With compress set, the payload uses the §5 tier with the
+// reference encoder's per-column choice; otherwise the §4 raw tier. The
+// buffer grows at most once, so pooled callers reach zero steady-state
+// allocations per frame.
+//
+//fm:noalloc
+func Encode(dst []byte, flat []float64, cols int, compress bool) ([]byte, error) {
+	if cols < 1 {
+		return dst, fmt.Errorf("%w: %d columns", ErrMalformed, cols)
+	}
+	if len(flat)%cols != 0 {
+		return dst, fmt.Errorf("%w: %d values do not fill %d columns", ErrMalformed, len(flat), cols)
+	}
+	if len(flat) > MaxFrameValues {
+		return dst, fmt.Errorf("%w: %d values", ErrTooLarge, len(flat))
+	}
+	rows := len(flat) / cols
+	base := len(dst)
+	need := base + EncodedSize(flat, cols, compress)
+	if cap(dst) < need {
+		//fmlint:ignore noalloc grows the caller's pooled frame buffer; growth amortizes to zero steady-state allocations
+		grown := make([]byte, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+
+	out := dst[base:]
+	copy(out, Magic)
+	out[4] = Version
+	out[5] = 0
+	if compress {
+		out[5] = FlagCompressed
+	}
+	out[6], out[7] = 0, 0
+	binary.LittleEndian.PutUint32(out[8:], uint32(cols))
+	binary.LittleEndian.PutUint64(out[12:], uint64(rows))
+
+	p := HeaderSize
+	if !compress {
+		for _, v := range flat {
+			binary.LittleEndian.PutUint64(out[p:], math.Float64bits(v))
+			p += 8
+		}
+	} else {
+		for c := 0; c < cols; c++ {
+			tag, _ := colPlan(flat, cols, c)
+			out[p] = tag
+			p++
+			prev := uint64(0)
+			for r := 0; r < rows; r++ {
+				b := math.Float64bits(flat[r*cols+c])
+				switch tag {
+				case ColRaw:
+					binary.LittleEndian.PutUint64(out[p:], b)
+					p += 8
+				case ColXor:
+					p += binary.PutUvarint(out[p:], b^prev)
+				case ColXorRev:
+					p += binary.PutUvarint(out[p:], bits.ReverseBytes64(b^prev))
+				}
+				prev = b
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(out[p:], crc32.Checksum(out[:p], castagnoli))
+	return dst, nil
+}
+
+// Decode appends the values of one complete v1 frame to dst in row-major
+// order and returns the extended slice plus the frame's column count.
+// frame must be exactly one frame — decoders reject trailing bytes (§2).
+// Validation order: magic, length, CRC (§6: nothing past the magic is
+// interpreted before the checksum passes), version, flags and reserved
+// bytes, dimensions, payload. On error dst is returned with its original
+// length so pooled buffers stay reusable. The buffer grows at most once,
+// so pooled callers reach zero steady-state allocations per frame.
+//
+//fm:noalloc
+func Decode(frame []byte, dst []float64) ([]float64, int, error) {
+	if len(frame) < len(Magic) || string(frame[:len(Magic)]) != Magic {
+		return dst, 0, ErrNotFmbin
+	}
+	if len(frame) < HeaderSize+TrailerSize {
+		return dst, 0, ErrTruncated
+	}
+	stored := binary.LittleEndian.Uint32(frame[len(frame)-TrailerSize:])
+	if crc32.Checksum(frame[:len(frame)-TrailerSize], castagnoli) != stored {
+		return dst, 0, ErrChecksum
+	}
+	if frame[4] != Version {
+		return dst, 0, fmt.Errorf("%w: version %d, want %d", ErrVersion, frame[4], Version)
+	}
+	flags := frame[5]
+	if flags&^byte(FlagCompressed) != 0 || frame[6] != 0 || frame[7] != 0 {
+		return dst, 0, fmt.Errorf("%w: reserved header bits set", ErrMalformed)
+	}
+	cols64 := uint64(binary.LittleEndian.Uint32(frame[8:12]))
+	rows64 := binary.LittleEndian.Uint64(frame[12:20])
+	if cols64 < 1 {
+		return dst, 0, fmt.Errorf("%w: zero columns", ErrMalformed)
+	}
+	if cols64 > MaxFrameValues || rows64 > MaxFrameValues || cols64*rows64 > MaxFrameValues {
+		return dst, 0, fmt.Errorf("%w: %d×%d", ErrTooLarge, rows64, cols64)
+	}
+	cols, rows := int(cols64), int(rows64)
+	total := rows * cols
+	payload := frame[HeaderSize : len(frame)-TrailerSize]
+
+	base := len(dst)
+	need := base + total
+	if cap(dst) < need {
+		//fmlint:ignore noalloc grows the caller's pooled decode buffer; growth amortizes to zero steady-state allocations
+		grown := make([]float64, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	out := dst[base:]
+
+	if flags&FlagCompressed == 0 {
+		if len(payload) != 8*total {
+			return dst[:base], 0, fmt.Errorf("%w: raw payload is %d bytes for %d values", ErrMalformed, len(payload), total)
+		}
+		for i := 0; i < total; i++ {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return dst, cols, nil
+	}
+
+	p := 0
+	for c := 0; c < cols; c++ {
+		if p >= len(payload) {
+			return dst[:base], 0, fmt.Errorf("%w: payload ends before column %d", ErrMalformed, c)
+		}
+		tag := payload[p]
+		p++
+		switch tag {
+		case ColRaw:
+			if len(payload)-p < 8*rows {
+				return dst[:base], 0, fmt.Errorf("%w: raw column %d truncated", ErrMalformed, c)
+			}
+			for r := 0; r < rows; r++ {
+				out[r*cols+c] = math.Float64frombits(binary.LittleEndian.Uint64(payload[p:]))
+				p += 8
+			}
+		case ColXor, ColXorRev:
+			prev := uint64(0)
+			for r := 0; r < rows; r++ {
+				v, n := binary.Uvarint(payload[p:])
+				if n <= 0 {
+					return dst[:base], 0, fmt.Errorf("%w: bad varint in column %d", ErrMalformed, c)
+				}
+				p += n
+				if tag == ColXorRev {
+					v = bits.ReverseBytes64(v)
+				}
+				prev ^= v
+				out[r*cols+c] = math.Float64frombits(prev)
+			}
+		default:
+			return dst[:base], 0, fmt.Errorf("%w: unknown column tag 0x%02x", ErrMalformed, tag)
+		}
+	}
+	if p != len(payload) {
+		return dst[:base], 0, fmt.Errorf("%w: %d payload bytes after last column", ErrMalformed, len(payload)-p)
+	}
+	return dst, cols, nil
+}

@@ -1,0 +1,343 @@
+package fmbin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The 2×3 matrix of docs/FORMAT.md §7; the committed fixtures are its two
+// encodings, byte for byte.
+var workedExample = []float64{1.0, 2.5, 0.0, 1.0, 2.5, -1.0}
+
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	return b
+}
+
+func mustEncode(t *testing.T, flat []float64, cols int, compress bool) []byte {
+	t.Helper()
+	frame, err := Encode(nil, flat, cols, compress)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return frame
+}
+
+// reframe recomputes a mutated frame's CRC so tests can corrupt one field
+// at a time while keeping the §6 trailer valid.
+func reframe(frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(out[len(out)-TrailerSize:],
+		crc32.Checksum(out[:len(out)-TrailerSize], castagnoli))
+	return out
+}
+
+// TestGoldenFrames pins the encoder to the worked example of FORMAT.md §7:
+// both committed fixtures must be reproduced exactly and decode back to
+// the original matrix.
+func TestGoldenFrames(t *testing.T) {
+	for _, tc := range []struct {
+		fixture  string
+		compress bool
+	}{
+		{"v1_raw_2x3.fmbin", false},
+		{"v1_compressed_2x3.fmbin", true},
+	} {
+		want := readFixture(t, tc.fixture)
+		got := mustEncode(t, workedExample, 3, tc.compress)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: encoder produced % x, fixture is % x", tc.fixture, got, want)
+		}
+		vals, cols, err := Decode(want, nil)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", tc.fixture, err)
+		}
+		if cols != 3 || !equalBits(vals, workedExample) {
+			t.Errorf("%s: decoded %v (cols=%d), want %v (cols=3)", tc.fixture, vals, cols, workedExample)
+		}
+	}
+}
+
+// TestGoldenCompressedLayout spot-checks the §7 annotations: the
+// compressed fixture's three column blocks all carry tag ColXorRev with
+// the uvarint bytes the spec lists.
+func TestGoldenCompressedLayout(t *testing.T) {
+	frame := readFixture(t, "v1_compressed_2x3.fmbin")
+	payload := frame[HeaderSize : len(frame)-TrailerSize]
+	want := []byte{
+		ColXorRev, 0xbf, 0xe0, 0x03, 0x00, // col 0: [1.0, 1.0]
+		ColXorRev, 0xc0, 0x08, 0x00, // col 1: [2.5, 2.5]
+		ColXorRev, 0x00, 0xbf, 0xe1, 0x03, // col 2: [0.0, -1.0]
+	}
+	if !bytes.Equal(payload, want) {
+		t.Errorf("payload % x, want % x per FORMAT.md §7", payload, want)
+	}
+}
+
+// equalBits compares float64 slices by bit pattern, so NaN payloads and
+// the sign of zero count (§1: decoding is bit-exact).
+func equalBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTripBitExact exercises §1's bit-exactness across both tiers
+// with the values most formats lose: negative zero, infinities, NaN
+// payloads, denormals, and full-precision noise.
+func TestRoundTripBitExact(t *testing.T) {
+	flat := []float64{
+		0, math.Copysign(0, -1), 1, -1,
+		math.Inf(1), math.Inf(-1), math.NaN(), math.Float64frombits(0x7ff0000000000001),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64, math.MaxFloat64, -math.MaxFloat64,
+		0.1, 1e-300, 3.141592653589793, 6.02214076e23,
+	}
+	for _, compress := range []bool{false, true} {
+		frame := mustEncode(t, flat, 4, compress)
+		vals, cols, err := Decode(frame, nil)
+		if err != nil {
+			t.Fatalf("compress=%v: Decode: %v", compress, err)
+		}
+		if cols != 4 || !equalBits(vals, flat) {
+			t.Errorf("compress=%v: round trip not bit-identical", compress)
+		}
+	}
+}
+
+// TestEmptyFrame covers §2's note that rows = 0 is a valid, empty frame
+// at the minimum legal size.
+func TestEmptyFrame(t *testing.T) {
+	frame := mustEncode(t, nil, 5, false)
+	if len(frame) != HeaderSize+TrailerSize {
+		t.Fatalf("empty frame is %d bytes, want %d", len(frame), HeaderSize+TrailerSize)
+	}
+	vals, cols, err := Decode(frame, nil)
+	if err != nil || cols != 5 || len(vals) != 0 {
+		t.Errorf("Decode(empty) = %v, %d, %v; want [], 5, nil", vals, cols, err)
+	}
+}
+
+// TestDecodeAppendsToDst verifies the pooled-buffer contract: Decode
+// appends after dst's existing values and returns dst unextended on error.
+func TestDecodeAppendsToDst(t *testing.T) {
+	frame := mustEncode(t, workedExample, 3, true)
+	dst := []float64{7, 8}
+	vals, _, err := Decode(frame, dst)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if want := append([]float64{7, 8}, workedExample...); !equalBits(vals, want) {
+		t.Errorf("decoded %v, want %v", vals, want)
+	}
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1]++ // corrupt CRC
+	vals, _, err = Decode(bad, dst)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt frame: err = %v, want ErrChecksum", err)
+	}
+	if len(vals) != len(dst) {
+		t.Errorf("error path returned %d values, want dst's original %d", len(vals), len(dst))
+	}
+}
+
+// TestRejection walks the §2/§5/§6/§9 MUST-reject cases: wrong magic,
+// truncation, corrupt CRC, unknown version, reserved bits, zero columns,
+// oversized dimensions, short and overlong payloads, unknown column tags.
+func TestRejection(t *testing.T) {
+	raw := mustEncode(t, workedExample, 3, false)
+	comp := mustEncode(t, workedExample, 3, true)
+
+	mutate := func(frame []byte, f func([]byte)) []byte {
+		out := append([]byte(nil), frame...)
+		f(out)
+		return reframe(out)
+	}
+
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"not fmbin (§2)", []byte(`{"rows":[[1]]}`), ErrNotFmbin},
+		{"empty input (§2)", nil, ErrNotFmbin},
+		{"truncated header (§2)", raw[:10], ErrTruncated},
+		{"truncated mid-payload (§2)", reframe(raw[:30]), ErrMalformed},
+		{"corrupt CRC (§6)", func() []byte {
+			out := append([]byte(nil), raw...)
+			out[25] ^= 0x40 // flip a payload bit, keep stale CRC
+			return out
+		}(), ErrChecksum},
+		{"future version (§9)", mutate(raw, func(b []byte) { b[4] = 2 }), ErrVersion},
+		{"reserved flag bit (§9)", mutate(raw, func(b []byte) { b[5] |= 0x80 }), ErrMalformed},
+		{"reserved bytes (§9)", mutate(raw, func(b []byte) { b[6] = 1 }), ErrMalformed},
+		{"zero columns (§2)", mutate(raw, func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 0) }), ErrMalformed},
+		{"oversized dims (§9)", mutate(raw[:HeaderSize+TrailerSize], func(b []byte) {
+			binary.LittleEndian.PutUint64(b[12:], 1<<40)
+		}), ErrTooLarge},
+		{"raw payload length mismatch (§4)", mutate(raw, func(b []byte) {
+			binary.LittleEndian.PutUint64(b[12:], 3) // claim 3 rows, payload holds 2
+		}), ErrMalformed},
+		{"unknown column tag (§5)", mutate(comp, func(b []byte) { b[HeaderSize] = 0x03 }), ErrMalformed},
+		{"trailing payload bytes (§5)", reframe(append(append([]byte(nil), comp[:len(comp)-TrailerSize]...),
+			0, 0, // extra payload bytes past the last column
+			0, 0, 0, 0)), ErrMalformed}, // CRC slot, rewritten by reframe
+		{"varint past payload (§5)", mutate(comp, func(b []byte) {
+			b[len(b)-TrailerSize-1] |= 0x80 // last varint byte claims a continuation
+		}), ErrMalformed},
+	}
+	for _, tc := range cases {
+		_, _, err := Decode(tc.frame, nil)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestEncodeRejects covers the encoder-side argument contract.
+func TestEncodeRejects(t *testing.T) {
+	if _, err := Encode(nil, []float64{1}, 0, false); !errors.Is(err, ErrMalformed) {
+		t.Errorf("cols=0: err = %v, want ErrMalformed", err)
+	}
+	if _, err := Encode(nil, []float64{1, 2, 3}, 2, false); !errors.Is(err, ErrMalformed) {
+		t.Errorf("ragged: err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestEncodedSize pins EncodedSize to what Encode actually produces.
+func TestEncodedSize(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		frame := mustEncode(t, workedExample, 3, compress)
+		if got := EncodedSize(workedExample, 3, compress); got != len(frame) {
+			t.Errorf("compress=%v: EncodedSize = %d, frame is %d bytes", compress, got, len(frame))
+		}
+	}
+}
+
+// TestColumnTagChoice checks the reference encoder's §5 per-column
+// selection on columns shaped for each tag: raw for incompressible noise,
+// xor for slowly drifting full-precision values, byte-reversed xor for
+// round values.
+func TestColumnTagChoice(t *testing.T) {
+	rows := 64
+	flat := make([]float64, rows*3)
+	x := uint64(0x9e3779b97f4a7c15)
+	drift := 1000.0
+	for r := 0; r < rows; r++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		flat[r*3+0] = math.Float64frombits(x) // incompressible bit noise
+		drift += 1e-9 * float64(r)
+		flat[r*3+1] = drift             // full precision, slow drift
+		flat[r*3+2] = float64(r % 1002) // round integers
+	}
+	wantTags := []byte{ColRaw, ColXor, ColXorRev}
+	for c, want := range wantTags {
+		if tag, _ := colPlan(flat, 3, c); tag != want {
+			t.Errorf("column %d: tag 0x%02x, want 0x%02x", c, tag, want)
+		}
+	}
+	frame := mustEncode(t, flat, 3, true)
+	vals, _, err := Decode(frame, nil)
+	if err != nil || !equalBits(vals, flat) {
+		t.Errorf("mixed-tag frame did not round-trip: %v", err)
+	}
+}
+
+// FuzzFmbinRoundTrip is the differential fuzz target wired into CI's lint
+// job: for any fuzzer-chosen matrix, decode(encode(m)) must be
+// bit-identical under both tiers (§1), and any fuzzer-chosen byte string
+// must either decode without panicking or be rejected with one of the
+// typed errors.
+func FuzzFmbinRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, colsIn uint8) {
+		cols := int(colsIn)%8 + 1
+		n := len(raw) / 8 / cols * cols
+		flat := make([]float64, n)
+		for i := range flat {
+			flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		for _, compress := range []bool{false, true} {
+			frame, err := Encode(nil, flat, cols, compress)
+			if err != nil {
+				t.Fatalf("Encode(%d vals, cols=%d, compress=%v): %v", n, cols, compress, err)
+			}
+			vals, gotCols, err := Decode(frame, nil)
+			if err != nil {
+				t.Fatalf("Decode(Encode(...)): %v", err)
+			}
+			if gotCols != cols || !equalBits(vals, flat) {
+				t.Fatalf("round trip not bit-identical (cols=%d, compress=%v)", cols, compress)
+			}
+		}
+		// Arbitrary bytes must never panic; errors must be the typed ones.
+		if _, _, err := Decode(raw, nil); err != nil {
+			for _, known := range []error{ErrNotFmbin, ErrTruncated, ErrChecksum, ErrVersion, ErrMalformed, ErrTooLarge} {
+				if errors.Is(err, known) {
+					return
+				}
+			}
+			t.Fatalf("Decode(arbitrary) returned untyped error %v", err)
+		}
+	})
+}
+
+// BenchmarkEncode/BenchmarkDecode assert the zero-allocation contract of
+// the package doc (the serve-layer BenchmarkIngestBinary gates the
+// end-to-end path; these isolate the codec).
+func BenchmarkEncode(b *testing.B) {
+	flat := benchMatrix(1024, 8)
+	buf := make([]byte, 0, EncodedSize(flat, 8, true))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Encode(buf[:0], flat, 8, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	flat := benchMatrix(1024, 8)
+	frame, err := Encode(nil, flat, 8, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, 0, len(flat))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst, _, err = Decode(frame, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMatrix(rows, cols int) []float64 {
+	flat := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			flat[r*cols+c] = float64(r%7) + 0.25*float64(c)
+		}
+	}
+	return flat
+}

@@ -28,6 +28,13 @@
 //     too, so replay can recreate the accountants it must debit and a
 //     stream's sequence numbers never rewind.
 //
+// Request bodies are JSON by default; the two bulk-data endpoints
+// (stream ingest and dataset registration) also negotiate the fmbin
+// binary frame via Content-Type: application/x-fmbin — see docs/FORMAT.md
+// for the format and docs/ARCHITECTURE.md for the system map and the
+// data-sensitivity table consolidating this package's durability and
+// privacy notes.
+//
 // Server wires the four into an http.Handler with typed JSON errors;
 // cmd/fmserve adds flags, signal handling, boot-time restore/replay and
 // graceful drain.

@@ -1,0 +1,89 @@
+package serve
+
+// Content negotiation for the fmbin binary wire format (docs/FORMAT.md).
+// POST /v1/streams/{name}/ingest and POST /v1/datasets accept a body that
+// is exactly one fmbin frame when the request carries
+// Content-Type: application/x-fmbin; JSON remains the default for any
+// other (or absent) media type. The binary path shares the JSON path's
+// pooled-buffer discipline: the frame bytes land in a pooled []byte, the
+// decoded values in the same pooled []float64 the JSON decoder uses, so a
+// warm server ingests binary batches with zero allocations per request.
+
+import (
+	"errors"
+	"io"
+	"mime"
+	"net/http"
+	"sync"
+
+	"funcmech/internal/fmbin"
+)
+
+// maxBodyBytes is the request-body cap shared by decodeBody and the
+// binary frame reader.
+const maxBodyBytes = 64 << 20
+
+// frameBufPool recycles raw frame buffers across binary requests.
+var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// isFmbinRequest reports whether the request negotiated the binary frame
+// body via Content-Type (parameters such as charset are ignored).
+func isFmbinRequest(r *http.Request) bool {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && mt == fmbin.ContentType
+}
+
+// readBody reads the whole request body into the pooled buffer buf under
+// the same size cap as decodeBody, returning the extended buffer.
+//
+//fm:noalloc
+func readBody(w http.ResponseWriter, r *http.Request, buf []byte) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	for {
+		if len(buf) == cap(buf) {
+			//fmlint:ignore noalloc grows the pooled frame buffer; growth amortizes to zero steady-state allocations
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// decodeFrameBody reads one fmbin frame from the request body and appends
+// its values to dst. want is the required record width (features +
+// target); a frame of any other width is rejected so a binary batch obeys
+// exactly the row contract the JSON endpoints document. On error the
+// response has already been written.
+func decodeFrameBody(w http.ResponseWriter, r *http.Request, want int, dst []float64) ([]float64, bool) {
+	bufp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bufp)
+	frame, err := readBody(w, r, (*bufp)[:0])
+	*bufp = frame[:0] // keep the grown capacity for the next request
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad request body: %v", err)
+		return dst, false
+	}
+	flat, cols, err := fmbin.Decode(frame, dst)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, fmbin.ErrNotFmbin) || errors.Is(err, fmbin.ErrVersion) {
+			// The body is not a frame this build speaks: that is a media-type
+			// problem, not a malformed request.
+			status = http.StatusUnsupportedMediaType
+		}
+		writeError(w, status, codeInvalidRequest, "%v", err)
+		return flat, false
+	}
+	if cols != want {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			"frame has %d columns, want %d features + target", cols, want)
+		return flat[:len(dst)], false
+	}
+	return flat, true
+}

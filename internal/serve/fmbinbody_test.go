@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"funcmech/internal/fmbin"
+)
+
+// flatten converts per-record rows into the row-major layout fmbin frames
+// carry.
+func flatten(rows [][]float64) []float64 {
+	flat := make([]float64, 0, len(rows)*len(rows[0]))
+	for _, row := range rows {
+		flat = append(flat, row...)
+	}
+	return flat
+}
+
+// postFrame sends one fmbin frame under the negotiated media type.
+func postFrame(t *testing.T, url string, frame []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, fmbin.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func encodeFrame(t *testing.T, rows [][]float64, compress bool) []byte {
+	t.Helper()
+	frame, err := fmbin.Encode(nil, flatten(rows), len(rows[0]), compress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestBinaryIngestMatchesJSON is the negotiation acceptance criterion:
+// the same records ingested as JSON and as a compressed fmbin frame must
+// leave the two streams bit-identical, so refits at the same seed return
+// the same weights.
+func TestBinaryIngestMatchesJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createTenant(t, ts.URL, "acme", 4)
+	rows := syntheticRows(150, 7)
+	for _, name := range []string{"js", "bin"} {
+		createStream(t, ts.URL, streamRequest{Name: name, Schema: testStreamSchema(), Intercept: true})
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/streams/js/ingest", ingestRequest{Rows: rowsJSON(t, rows)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json ingest: status %d", resp.StatusCode)
+	}
+	jsIn := decode[ingestResponse](t, resp)
+
+	resp = postFrame(t, ts.URL+"/v1/streams/bin/ingest", encodeFrame(t, rows, true))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary ingest: status %d", resp.StatusCode)
+	}
+	binIn := decode[ingestResponse](t, resp)
+	if binIn.Accepted != jsIn.Accepted || binIn.Accepted != 150 {
+		t.Fatalf("accepted json=%d binary=%d, want 150", jsIn.Accepted, binIn.Accepted)
+	}
+
+	var weights [][]float64
+	for _, name := range []string{"js", "bin"} {
+		resp := postJSON(t, ts.URL+"/v1/streams/"+name+"/refit", refitRequest{
+			Tenant: "acme", Model: "linear", Epsilon: 1.0,
+			Options: refitOptions{Seed: ptr(int64(42))},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("refit %s: status %d", name, resp.StatusCode)
+		}
+		weights = append(weights, decode[refitResponse](t, resp).Weights)
+	}
+	if len(weights[0]) == 0 {
+		t.Fatal("refit returned no weights")
+	}
+	for i := range weights[0] {
+		if weights[0][i] != weights[1][i] {
+			t.Fatalf("weight %d differs: json=%v binary=%v", i, weights[0][i], weights[1][i])
+		}
+	}
+}
+
+// TestBinaryIngestRejects exercises the negotiation error surface: broken
+// frames 400, non-frames and unknown versions 415, and a frame whose
+// width does not match the stream's schema 400 — all without mutating the
+// stream.
+func TestBinaryIngestRejects(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	createStream(t, ts.URL, streamRequest{Name: "s", Schema: testStreamSchema()})
+	good := encodeFrame(t, syntheticRows(4, 1), true)
+
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1]++
+
+	// An intact frame of a version this build does not speak: bump the
+	// version byte and restore a valid CRC trailer.
+	versioned := append([]byte(nil), good...)
+	versioned[4] = 9
+	binary.LittleEndian.PutUint32(versioned[len(versioned)-4:],
+		crc32.Checksum(versioned[:len(versioned)-4], crc32.MakeTable(crc32.Castagnoli)))
+
+	cases := []struct {
+		name   string
+		body   []byte
+		status int
+	}{
+		{"corrupt CRC", corrupt, http.StatusBadRequest},
+		{"future version", versioned, http.StatusUnsupportedMediaType},
+		{"not a frame", []byte(`{"rows":[[1,2,3]]}`), http.StatusUnsupportedMediaType},
+		{"empty body", nil, http.StatusUnsupportedMediaType},
+		{"wrong width", encodeFrame(t, [][]float64{{1, 2}}, false), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := postFrame(t, ts.URL+"/v1/streams/s/ingest", tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+	if st, _ := srv.Streams().Lookup("s"); st.Records() != 0 {
+		t.Fatalf("rejected frames folded %d records into the stream", st.Records())
+	}
+}
+
+// TestBinaryDatasetRegistration covers the /v1/datasets negotiation: a
+// frame body plus name/schema query parameters registers the same dataset
+// the JSON path would, proven by bit-identical fits at a fixed seed.
+func TestBinaryDatasetRegistration(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createTenant(t, ts.URL, "acme", 4)
+	rows := syntheticRows(200, 11)
+
+	resp := postJSON(t, ts.URL+"/v1/datasets", datasetRequest{Name: "js", Schema: testStreamSchema(), Rows: rows})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("json registration: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	schemaParam, err := json.Marshal(testStreamSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	binURL := ts.URL + "/v1/datasets?name=bin&schema=" + url.QueryEscape(string(schemaParam))
+	resp = postFrame(t, binURL, encodeFrame(t, rows, true))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("binary registration: status %d", resp.StatusCode)
+	}
+	info := decode[datasetInfo](t, resp)
+	if info.Records != 200 || info.Features != 2 {
+		t.Fatalf("binary dataset: %+v", info)
+	}
+
+	var weights [][]float64
+	for _, name := range []string{"js", "bin"} {
+		resp := postJSON(t, ts.URL+"/v1/fit", fitRequest{
+			Tenant: "acme", Dataset: name, Model: "linear", Epsilon: 1.0,
+			Options: fitOptions{Seed: ptr(int64(5))},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fit %s: status %d", name, resp.StatusCode)
+		}
+		weights = append(weights, decode[fitResponse](t, resp).Weights)
+	}
+	for i := range weights[0] {
+		if weights[0][i] != weights[1][i] {
+			t.Fatalf("weight %d differs: json=%v binary=%v", i, weights[0][i], weights[1][i])
+		}
+	}
+
+	// Missing query parameters reject before touching the body.
+	for _, bad := range []string{"/v1/datasets", "/v1/datasets?name=x"} {
+		resp := postFrame(t, ts.URL+bad, encodeFrame(t, rows[:1], false))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

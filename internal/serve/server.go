@@ -128,7 +128,7 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad request body: %v", err)
@@ -182,6 +182,10 @@ type datasetInfo struct {
 }
 
 func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	if isFmbinRequest(r) {
+		s.handleRegisterDatasetBinary(w, r)
+		return
+	}
 	var req datasetRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -223,6 +227,55 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, datasetInfo{Name: req.Name, Records: ds.Len(), Features: ds.NumFeatures()})
+}
+
+// handleRegisterDatasetBinary registers inline data negotiated as
+// Content-Type: application/x-fmbin (docs/FORMAT.md): the body is exactly
+// one fmbin frame of feature-vector-plus-target rows, so the name and
+// schema ride as query parameters — ?name=...&schema={...} with the same
+// schema JSON the default path embeds in its body.
+func (s *Server) handleRegisterDatasetBinary(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "binary dataset registration requires a name query parameter")
+		return
+	}
+	rawSchema := r.URL.Query().Get("schema")
+	if rawSchema == "" {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: binary registration requires a schema query parameter", name)
+		return
+	}
+	var sj schemaJSON
+	if err := json.Unmarshal([]byte(rawSchema), &sj); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: bad schema parameter: %v", name, err)
+		return
+	}
+	schema := schemaFromJSON(sj)
+	if err := schema.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: %v", name, err)
+		return
+	}
+	want := len(schema.Features) + 1
+	flat, ok := decodeFrameBody(w, r, want, nil)
+	if !ok {
+		return
+	}
+	if len(flat) == 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: no rows supplied", name)
+		return
+	}
+	ds := funcmech.NewDataset(schema)
+	rows := len(flat) / want
+	ds.Grow(rows)
+	for i := 0; i < rows; i++ {
+		row := flat[i*want : (i+1)*want]
+		ds.Append(row[:want-1], row[want-1])
+	}
+	if err := s.registry.Register(name, ds); err != nil {
+		writeError(w, http.StatusConflict, codeConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, datasetInfo{Name: name, Records: ds.Len(), Features: ds.NumFeatures()})
 }
 
 // schemaFromJSON converts the wire schema to the public type; validity is

@@ -126,17 +126,31 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeNotFound, "unknown stream %q", r.PathValue("name"))
 		return
 	}
-	var req ingestRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+	want := len(st.Config().Schema.Features) + 1
 	bufp := ingestBufPool.Get().(*[]float64)
 	defer ingestBufPool.Put(bufp)
-	flat, err := parseFlatRows(req.Rows, len(st.Config().Schema.Features)+1, (*bufp)[:0])
-	*bufp = flat // keep the grown capacity for the next request
-	if err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q: %v", st.Name(), err)
-		return
+	var flat []float64
+	if isFmbinRequest(r) {
+		// Binary negotiation (docs/FORMAT.md): the body is one fmbin frame
+		// whose columns are the same feature-vector-plus-target rows the
+		// JSON shape carries.
+		flat, ok = decodeFrameBody(w, r, want, (*bufp)[:0])
+		*bufp = flat // keep the grown capacity for the next request
+		if !ok {
+			return
+		}
+	} else {
+		var req ingestRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		var err error
+		flat, err = parseFlatRows(req.Rows, want, (*bufp)[:0])
+		*bufp = flat // keep the grown capacity for the next request
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q: %v", st.Name(), err)
+			return
+		}
 	}
 
 	// The fold is the ingest path's O(batch·d²) CPU cost; draw one worker

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# check_docs.sh — keep the prose honest. Two machine checks over the docs:
+#
+#   1. Every relative markdown link in README.md, DESIGN.md and docs/*.md
+#      resolves to a file or directory in the repo (anchors stripped;
+#      absolute URLs ignored). A renamed file that leaves a dangling link
+#      fails here, not in a reader's browser.
+#
+#   2. Every row of the FORMAT.md §8 constants table (the region between the
+#      <!-- constants:begin --> and <!-- constants:end --> markers) matches a
+#      constant of the same name AND value in internal/fmbin/fmbin.go. The
+#      spec is normative, the Go file is the reference implementation; this
+#      grep is what lets each claim the other can't drift.
+#
+# Run locally or in CI (the docs job); no dependencies beyond POSIX tools.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# --- 1. relative links resolve -------------------------------------------
+# Pipelines spawn subshells, so dangling links are collected in a file and
+# the verdict read back from it.
+docs=(README.md DESIGN.md ROADMAP.md docs/*.md)
+: > "$WORK/dangling"
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  dir="$(dirname "$doc")"
+  # Pull out the (target) of every [text](target); one per line.
+  grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//' > "$WORK/targets" || true
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"            # strip in-page anchor
+    [ -n "$path" ] || continue
+    # Links are relative to the file that contains them.
+    if [ ! -e "$dir/$path" ]; then
+      echo "check-docs: $doc: dangling link -> $target" >&2
+      echo "$doc $target" >> "$WORK/dangling"
+    fi
+  done < "$WORK/targets"
+done
+[ -s "$WORK/dangling" ] && fail=1
+
+# --- 2. FORMAT.md constants table matches internal/fmbin/fmbin.go --------
+spec=docs/FORMAT.md
+src=internal/fmbin/fmbin.go
+rows="$(sed -n '/<!-- constants:begin -->/,/<!-- constants:end -->/p' "$spec" |
+        grep -E '^\| `' || true)"
+if [ -z "$rows" ]; then
+  echo "check-docs: no constants table between markers in $spec" >&2
+  fail=1
+fi
+n=0
+while IFS= read -r row; do
+  # | `Name` | `value` |  ->  Name, value
+  name="$(printf '%s' "$row" | sed -E 's/^\| `([^`]+)`.*/\1/')"
+  value="$(printf '%s' "$row" | sed -E 's/^\| `[^`]+` *\| `([^`]+)` *\|$/\1/')"
+  if [ -z "$name" ] || [ -z "$value" ] || [ "$value" = "$row" ]; then
+    echo "check-docs: unparseable constants row: $row" >&2
+    fail=1
+    continue
+  fi
+  # The Go block writes `Name = value` (gofmt may align with extra spaces).
+  if ! grep -Eq "^[[:space:]]*${name}[[:space:]]*=[[:space:]]*${value}([[:space:]]|$)" "$src"; then
+    echo "check-docs: $spec says ${name} = ${value}, but $src disagrees" >&2
+    fail=1
+  fi
+  n=$((n + 1))
+done <<EOF
+$rows
+EOF
+
+if [ "$fail" -ne 0 ]; then
+  echo "check-docs: FAIL" >&2
+  exit 1
+fi
+echo "check-docs: PASS (links resolve; $n spec constants match $src)"

@@ -5,7 +5,11 @@
 # the live accumulators (asserting the ingest counters in /v1/stats), then
 # SIGTERMs the server, restarts it from the snapshot directory, checks the
 # record counts survived without re-ingesting, and refits again with the
-# same seed — the weights must be bit-identical across the restart.
+# same seed — the weights must be bit-identical across the restart. Finally
+# it ingests the same rows into two fresh streams, once as JSON and once as
+# an fmbin binary frame (cmd/fmbin, Content-Type: application/x-fmbin), and
+# asserts the two refits are bit-identical — the wire format must not
+# change a single bit of what the accumulator folds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -153,6 +157,57 @@ code=$(curl -s -o "$WORKDIR/refit2.json" -w '%{http_code}' -X POST "$BASE/v1/str
 jq -c '.weights' "$WORKDIR/refit2.json" > "$WORKDIR/weights2.json"
 diff "$WORKDIR/weights1.json" "$WORKDIR/weights2.json" \
   || fail "weights changed across snapshot restart (want bit-identical at fixed seed)"
+
+echo "e2e-stream: binary ingest must refit bit-identically to JSON ingest"
+go build -o "$WORKDIR/fmbin" ./cmd/fmbin
+for name in bjson bbin; do
+  stream_def=$(printf '{"name":"%s","intercept":true,"shards":1,
+    "schema":{"features":[{"name":"x1","min":0,"max":10},{"name":"x2","min":0,"max":5}],
+              "target":{"name":"y","min":0,"max":50}}}' "$name")
+  code=$(curl -s -o "$WORKDIR/$name.json" -w '%{http_code}' -X POST "$BASE/v1/streams" \
+    -H 'Content-Type: application/json' -d "$stream_def")
+  [ "$code" = 201 ] || fail "stream $name creation returned $code: $(cat "$WORKDIR/$name.json")"
+done
+
+# Same 150 rows from batch1, once as the JSON body and once fmbin-encoded.
+code=$(curl -s -o "$WORKDIR/bjson_ingest.json" -w '%{http_code}' -X POST "$BASE/v1/streams/bjson/ingest" \
+  -H 'Content-Type: application/json' -d @"$WORKDIR/batch1.json")
+[ "$code" = 200 ] || fail "JSON ingest into bjson returned $code: $(cat "$WORKDIR/bjson_ingest.json")"
+
+jq -c '.rows' "$WORKDIR/batch1.json" | "$WORKDIR/fmbin" encode > "$WORKDIR/batch1.fmbin"
+json_bytes=$(wc -c < "$WORKDIR/batch1.json")
+bin_bytes=$(wc -c < "$WORKDIR/batch1.fmbin")
+echo "e2e-stream: batch1 wire size: $json_bytes bytes JSON, $bin_bytes bytes fmbin"
+code=$(curl -s -o "$WORKDIR/bbin_ingest.json" -w '%{http_code}' -X POST "$BASE/v1/streams/bbin/ingest" \
+  -H 'Content-Type: application/x-fmbin' --data-binary @"$WORKDIR/batch1.fmbin")
+[ "$code" = 200 ] || fail "binary ingest into bbin returned $code: $(cat "$WORKDIR/bbin_ingest.json")"
+[ "$(jq '.accepted' "$WORKDIR/bbin_ingest.json")" = 150 ] \
+  || fail "binary ingest accepted $(jq '.accepted' "$WORKDIR/bbin_ingest.json") records, want 150"
+
+# Both single-shard streams hold the same records in the same order, so at a
+# fixed seed the released weights must match bit for bit. The two ε=1 refits
+# spend acme's remaining budget (4 total − 2 already spent) exactly.
+refit7='{"tenant":"acme","model":"linear","epsilon":1.0,"options":{"seed":7}}'
+for name in bjson bbin; do
+  code=$(curl -s -o "$WORKDIR/refit_$name.json" -w '%{http_code}' -X POST "$BASE/v1/streams/$name/refit" \
+    -H 'Content-Type: application/json' -d "$refit7")
+  [ "$code" = 200 ] || fail "refit of $name returned $code: $(cat "$WORKDIR/refit_$name.json")"
+  jq -c '.weights' "$WORKDIR/refit_$name.json" > "$WORKDIR/weights_$name.json"
+done
+diff "$WORKDIR/weights_bjson.json" "$WORKDIR/weights_bbin.json" \
+  || fail "binary-ingested refit differs from JSON-ingested refit (want bit-identical)"
+
+# A corrupt frame must be rejected whole: overwrite the first column-tag
+# byte (offset 20, right after the header) with 0xFF — tags are only 0..2,
+# so this always changes the byte and always breaks the CRC.
+head -c 20 "$WORKDIR/batch1.fmbin" > "$WORKDIR/corrupt.fmbin"
+printf '\377' >> "$WORKDIR/corrupt.fmbin"
+tail -c +22 "$WORKDIR/batch1.fmbin" >> "$WORKDIR/corrupt.fmbin"
+code=$(curl -s -o "$WORKDIR/corrupt.json" -w '%{http_code}' -X POST "$BASE/v1/streams/bbin/ingest" \
+  -H 'Content-Type: application/x-fmbin' --data-binary @"$WORKDIR/corrupt.fmbin")
+[ "$code" = 400 ] || fail "corrupt frame returned $code, want 400: $(cat "$WORKDIR/corrupt.json")"
+[ "$(curl -fsS "$BASE/v1/streams" | jq '.streams[] | select(.name=="bbin") | .records')" = 150 ] \
+  || fail "corrupt frame changed bbin's record count"
 
 echo "e2e-stream: graceful shutdown"
 kill -TERM "$SERVER_PID"

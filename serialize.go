@@ -8,6 +8,7 @@ import (
 
 	"funcmech/internal/core"
 	"funcmech/internal/dataset"
+	"funcmech/internal/fmbin"
 )
 
 // ErrVersionMismatch is returned when a persisted envelope (model or
@@ -116,40 +117,65 @@ func decodeEnvelope(r io.Reader, kind string) (*modelEnvelope, error) {
 // sums here are raw aggregates of the ingested records: a serialized
 // accumulator is as sensitive as the records themselves and must be stored
 // in the same trust domain (it exists so an ingestion service can restart
-// without re-ingesting, not for publication).
+// without re-ingesting, not for publication). See the data-sensitivity
+// table in docs/ARCHITECTURE.md.
 type accumulatorEnvelope struct {
-	Kind          string                `json:"kind"` // "accumulator"
-	Schema        Schema                `json:"schema"`
-	Intercept     bool                  `json:"intercept"`
-	Threshold     *float64              `json:"threshold,omitempty"`
-	Linear        core.AccumulatorState `json:"linear"`
-	Logistic      core.AccumulatorState `json:"logistic"`
-	LogisticError string                `json:"logistic_error,omitempty"`
-	Version       int                   `json:"version"`
+	Kind      string                `json:"kind"` // "accumulator"
+	Schema    Schema                `json:"schema"`
+	Intercept bool                  `json:"intercept"`
+	Threshold *float64              `json:"threshold,omitempty"`
+	Linear    core.AccumulatorState `json:"linear"`
+	Logistic  core.AccumulatorState `json:"logistic"`
+	// Coeffs is version 3's coefficient payload: one compressed fmbin
+	// frame (docs/FORMAT.md) with two columns — linear and logistic — and
+	// d + d(d+1)/2 rows per column ([alpha..., packed upper triangle...]).
+	// When present, Linear and Logistic carry only the record counts and
+	// beta scalars. JSON base64-encodes the bytes.
+	Coeffs        []byte `json:"coeffs,omitempty"`
+	LogisticError string `json:"logistic_error,omitempty"`
+	Version       int    `json:"version"`
 }
 
 const accumulatorKind = "accumulator"
 
-// Accumulator envelope versions. Version 2 stores the coefficient matrices
-// as packed upper triangles (d(d+1)/2 values) instead of full d×d matrices
-// whose lower halves were structurally zero — almost halving snapshot files.
-// Version-1 envelopes (full matrices) still decode; anything else fails with
-// ErrVersionMismatch.
+// Accumulator envelope versions. Version 3 moves the coefficient vectors
+// into a compressed fmbin frame (see accumulatorEnvelope.Coeffs and
+// docs/FORMAT.md), cutting snapshot size well below the version-2 JSON
+// float arrays. Version 2 stores the coefficient matrices as packed upper
+// triangles (d(d+1)/2 values) instead of version 1's full d×d matrices
+// whose lower halves were structurally zero. Versions 1 and 2 still
+// decode; anything else fails with ErrVersionMismatch.
 const (
-	accumulatorVersion       = 2
+	accumulatorVersion       = 3
+	accumulatorVersionPacked = 2
 	accumulatorVersionLegacy = 1
 )
 
-// Save writes the accumulator's full state as JSON; LoadAccumulator inverts
-// it. See accumulatorEnvelope for the sensitivity caveat.
+// Save writes the accumulator's full state as a version-3 envelope — JSON
+// metadata around a compressed fmbin coefficient frame; LoadAccumulator
+// inverts it bit-exactly. See accumulatorEnvelope for the sensitivity
+// caveat.
 func (a *Accumulator) Save(w io.Writer) error {
+	lin, log := a.linear.State(), a.logistic.State()
+	flat := make([]float64, 0, 2*(len(lin.Alpha)+len(lin.MU)))
+	for i := range lin.Alpha {
+		flat = append(flat, lin.Alpha[i], log.Alpha[i])
+	}
+	for i := range lin.MU {
+		flat = append(flat, lin.MU[i], log.MU[i])
+	}
+	frame, err := fmbin.Encode(nil, flat, 2, true)
+	if err != nil {
+		return fmt.Errorf("funcmech: encoding coefficient frame: %w", err)
+	}
 	env := accumulatorEnvelope{
 		Kind:      accumulatorKind,
 		Schema:    a.schema,
 		Intercept: a.intercept,
 		Threshold: a.threshold,
-		Linear:    a.linear.State(),
-		Logistic:  a.logistic.State(),
+		Linear:    core.AccumulatorState{N: lin.N, Beta: lin.Beta},
+		Logistic:  core.AccumulatorState{N: log.N, Beta: log.Beta},
+		Coeffs:    frame,
 		Version:   accumulatorVersion,
 	}
 	if a.logisticErr != nil {
@@ -169,9 +195,11 @@ func LoadAccumulator(r io.Reader) (*Accumulator, error) {
 	if env.Kind != accumulatorKind {
 		return nil, fmt.Errorf("funcmech: envelope kind %q, want %q", env.Kind, accumulatorKind)
 	}
-	if env.Version != accumulatorVersion && env.Version != accumulatorVersionLegacy {
-		return nil, fmt.Errorf("%w: accumulator envelope version %d, want %d (or legacy %d)",
-			ErrVersionMismatch, env.Version, accumulatorVersion, accumulatorVersionLegacy)
+	switch env.Version {
+	case accumulatorVersion, accumulatorVersionPacked, accumulatorVersionLegacy:
+	default:
+		return nil, fmt.Errorf("%w: accumulator envelope version %d, want %d (or earlier %d, %d)",
+			ErrVersionMismatch, env.Version, accumulatorVersion, accumulatorVersionPacked, accumulatorVersionLegacy)
 	}
 	opts := []Option{}
 	if env.Intercept {
@@ -183,6 +211,11 @@ func LoadAccumulator(r io.Reader) (*Accumulator, error) {
 	a, err := NewAccumulator(env.Schema, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("funcmech: stored accumulator schema invalid: %w", err)
+	}
+	if env.Version == accumulatorVersion {
+		if err := unpackCoeffFrame(&env, a.d); err != nil {
+			return nil, err
+		}
 	}
 	if len(env.Linear.Alpha) != a.d || len(env.Logistic.Alpha) != a.d {
 		return nil, fmt.Errorf("funcmech: accumulator state dimensionality %d/%d does not match schema's %d",
@@ -198,6 +231,41 @@ func LoadAccumulator(r io.Reader) (*Accumulator, error) {
 		a.logisticErr = errors.New(env.LogisticError)
 	}
 	return a, nil
+}
+
+// unpackCoeffFrame decodes a version-3 envelope's fmbin coefficient frame
+// into the envelope's Linear and Logistic states in place, so the rest of
+// LoadAccumulator is version-agnostic. d is the coefficient count implied
+// by the envelope's schema; the frame must carry exactly two columns of
+// d + d(d+1)/2 rows (alpha, then the packed upper triangle).
+func unpackCoeffFrame(env *accumulatorEnvelope, d int) error {
+	if len(env.Coeffs) == 0 {
+		return fmt.Errorf("funcmech: version-%d accumulator envelope has no coefficient frame", env.Version)
+	}
+	flat, cols, err := fmbin.Decode(env.Coeffs, nil)
+	if err != nil {
+		if errors.Is(err, fmbin.ErrVersion) {
+			return fmt.Errorf("%w: coefficient frame: %v", ErrVersionMismatch, err)
+		}
+		return fmt.Errorf("funcmech: decoding coefficient frame: %w", err)
+	}
+	if cols != 2 {
+		return fmt.Errorf("funcmech: coefficient frame has %d columns, want 2", cols)
+	}
+	rows := len(flat) / 2
+	packed := d * (d + 1) / 2
+	if rows != d+packed {
+		return fmt.Errorf("funcmech: coefficient frame has %d rows for %d coefficients (want %d)",
+			rows, d, d+packed)
+	}
+	linear := make([]float64, rows)
+	logistic := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		linear[r], logistic[r] = flat[2*r], flat[2*r+1]
+	}
+	env.Linear.Alpha, env.Linear.MU = linear[:d], linear[d:]
+	env.Logistic.Alpha, env.Logistic.MU = logistic[:d], logistic[d:]
+	return nil
 }
 
 // envelopeNormalizer rebuilds the normalizer the model was trained with,
