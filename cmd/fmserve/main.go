@@ -38,11 +38,20 @@
 // and POST /v1/tenants. On SIGINT/SIGTERM the server stops accepting
 // requests and drains in-flight fits before exiting (see -drain-timeout).
 //
-// Endpoints: GET /healthz, GET /v1/stats, POST/GET /v1/datasets,
-// POST/GET /v1/tenants, GET /v1/tenants/{name}, POST /v1/fit,
-// POST/GET /v1/streams, POST /v1/streams/{name}/ingest,
-// POST /v1/streams/{name}/refit. See the README's Serving and Streaming
-// sections for the request and response shapes.
+// Observability: every request carries a trace id (X-Request-Id, generated
+// when absent) and records spans for queueing, kernel work, the solve, the
+// noise draw and the WAL fsync; GET /v1/debug/traces returns the most recent
+// traces and -trace-log emits each as one JSON line. GET /metrics serves the
+// counters, gauges and latency histograms in Prometheus text format —
+// including per-tenant ε-spend — and -debug-addr binds net/http/pprof on a
+// separate, operator-only listener. See docs/OBSERVABILITY.md.
+//
+// Endpoints: GET /healthz, GET /v1/stats, GET /metrics,
+// GET /v1/debug/traces, POST/GET /v1/datasets, POST/GET /v1/tenants,
+// GET /v1/tenants/{name}, POST /v1/fit, POST/GET /v1/streams,
+// POST /v1/streams/{name}/ingest, POST /v1/streams/{name}/refit. See the
+// README's Serving and Streaming sections for the request and response
+// shapes.
 package main
 
 import (
@@ -51,8 +60,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers for the -debug-addr listener
 	"os"
 	"os/signal"
 	"strconv"
@@ -76,6 +87,8 @@ func main() {
 		snapshotEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic stream-snapshot interval (0 = only on shutdown; needs -snapshot-dir)")
 		walDir        = flag.String("wal-dir", "", "directory for the ε-accounting write-ahead log; replayed on boot so hard kills never under-count spend (empty = snapshots only)")
 		walFsync      = flag.Bool("wal-fsync", true, "fsync the WAL on every charge; =false trades a crash window of recent charges for lower fit latency")
+		debugAddr     = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = profiling off; never expose publicly)")
+		traceLog      = flag.Bool("trace-log", false, "emit one structured JSON log line per completed request trace on stderr")
 		gens          []string
 		tenants       []string
 	)
@@ -165,6 +178,27 @@ func main() {
 			fatal(err)
 		}
 		log.Printf("fmserve: tenant %q created (lifetime ε = %v)", name, budget)
+	}
+
+	if *traceLog {
+		srv.SetTraceLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	}
+	// The profiling listener is deliberately its own socket: pprof exposes
+	// goroutine stacks and heap contents, so it stays off the service address
+	// entirely and is only bound when an operator asks for it.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(fmt.Errorf("fmserve: debug listener: %w", err))
+		}
+		go func() {
+			// http.DefaultServeMux carries the net/http/pprof handlers
+			// registered by the import's init.
+			if err := http.Serve(dln, http.DefaultServeMux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("fmserve: debug server: %v", err)
+			}
+		}()
+		log.Printf("fmserve: pprof profiling on %s/debug/pprof/", dln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

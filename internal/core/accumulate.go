@@ -273,7 +273,7 @@ func effectiveParallelism(requested, n int) int {
 // shard boundaries are pure functions of the inputs and partials merge in
 // shard index order.
 func ParallelObjective(task Task, ds *dataset.Dataset, parallelism int) *poly.Quadratic {
-	return GovernedObjective(task, ds, parallelism, nil)
+	return governedObjective(task, ds, parallelism, nil, nil)
 }
 
 // GovernedObjective is ParallelObjective under a Governor: the resolved
@@ -281,8 +281,17 @@ func ParallelObjective(task Task, ds *dataset.Dataset, parallelism int) *poly.Qu
 // so concurrent runs sharing the governor never oversubscribe its global
 // cap. A nil gov degenerates to ParallelObjective.
 func GovernedObjective(task Task, ds *dataset.Dataset, parallelism int, gov Governor) *poly.Quadratic {
+	return governedObjective(task, ds, parallelism, gov, nil)
+}
+
+// governedObjective additionally reports the kernel phase to probe. The
+// phase starts only after the governor grant, so time blocked on Acquire
+// (the caller's queue-wait span) is never attributed to compute.
+func governedObjective(task Task, ds *dataset.Dataset, parallelism int, gov Governor, probe Probe) *poly.Quadratic {
 	rt, ok := task.(RecordTask)
 	if !ok {
+		endKernel := startPhase(probe, PhaseKernel)
+		defer endKernel()
 		return task.Objective(ds)
 	}
 	workers := effectiveParallelism(parallelism, ds.N())
@@ -293,6 +302,8 @@ func GovernedObjective(task Task, ds *dataset.Dataset, parallelism int, gov Gove
 			workers = granted
 		}
 	}
+	endKernel := startPhase(probe, PhaseKernel)
+	defer endKernel()
 	if workers == 1 {
 		a := NewAccumulator(rt, ds.D())
 		a.AddBatch(ds, dataset.Shard{Lo: 0, Hi: ds.N()})

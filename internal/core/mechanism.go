@@ -56,7 +56,7 @@ func Run(task Task, ds *dataset.Dataset, eps float64, rng *rand.Rand, opts Optio
 	if err := task.Validate(ds); err != nil {
 		return nil, err
 	}
-	exact := GovernedObjective(task, ds, opts.Parallelism, opts.Governor)
+	exact := governedObjective(task, ds, opts.Parallelism, opts.Governor, opts.Probe)
 	return RunFromQuadratic(task, exact, eps, rng, opts)
 }
 
@@ -93,11 +93,26 @@ func RunFromQuadratic(task Task, exact *poly.Quadratic, eps float64, rng *rand.R
 		EpsilonSpent: eps,
 	}
 
+	// Phase-wrapped steps: perturbation reports PhaseNoise, every
+	// minimization (Cholesky solve, and spectral trimming below) reports
+	// PhaseSolve. With no probe installed these wrappers reduce to the
+	// shared noop end func.
+	perturb := func() *poly.Quadratic {
+		end := startPhase(opts.Probe, PhaseNoise)
+		defer end()
+		return Perturb(exact, scale, rng)
+	}
+	minimize := func(q *poly.Quadratic) ([]float64, error) {
+		end := startPhase(opts.Probe, PhaseSolve)
+		defer end()
+		return regression.MinimizeQuadratic(q)
+	}
+
 	switch opts.PostProcess {
 	case PostProcessNone:
-		noisy := Perturb(exact, scale, rng)
+		noisy := perturb()
 		res.Noisy = noisy
-		w, err := regression.MinimizeQuadratic(noisy)
+		w, err := minimize(noisy)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrUnbounded, err)
 		}
@@ -108,8 +123,8 @@ func RunFromQuadratic(task Task, exact *poly.Quadratic, eps float64, rng *rand.R
 		// Lemma 5: repeating until bounded satisfies 2ε-DP.
 		res.EpsilonSpent = 2 * eps
 		for attempt := 0; attempt < opts.MaxResamples; attempt++ {
-			noisy := Perturb(exact, scale, rng)
-			w, err := regression.MinimizeQuadratic(noisy)
+			noisy := perturb()
+			w, err := minimize(noisy)
 			if err == nil {
 				res.Noisy = noisy
 				res.Weights = w
@@ -120,19 +135,21 @@ func RunFromQuadratic(task Task, exact *poly.Quadratic, eps float64, rng *rand.R
 		return nil, fmt.Errorf("%w: still unbounded after %d resamples", ErrUnbounded, opts.MaxResamples)
 
 	case PostProcessRegularizeOnly, PostProcessRegularizeAndTrim:
-		noisy := Perturb(exact, scale, rng)
+		noisy := perturb()
 		res.Lambda = opts.LambdaFactor * scale.StdDev()
 		noisy.M.AddDiagonal(res.Lambda)
 		res.Noisy = noisy
 
-		if w, err := regression.MinimizeQuadratic(noisy); err == nil {
+		if w, err := minimize(noisy); err == nil {
 			res.Weights = w
 			return res, nil
 		}
 		if opts.PostProcess == PostProcessRegularizeOnly {
 			return nil, fmt.Errorf("%w: regularization (λ=%v) was insufficient", ErrUnbounded, res.Lambda)
 		}
+		endTrim := startPhase(opts.Probe, PhaseSolve)
 		w, trimmed, err := SpectralTrim(noisy)
+		endTrim()
 		if err != nil {
 			return nil, err
 		}

@@ -53,6 +53,43 @@ type Governor interface {
 	Acquire(want int) (granted int, release func())
 }
 
+// Phase names reported to a Probe. They match the serving layer's span
+// vocabulary (internal/obs), so a trace shows kernel vs solve vs noise time
+// without core ever naming obs.
+const (
+	// PhaseKernel is the O(n·d²) objective accumulation, measured from
+	// after the governor grant (queue wait is the caller's span, not
+	// compute time).
+	PhaseKernel = "kernel"
+	// PhaseSolve is minimization: the Cholesky solve, plus spectral
+	// trimming when it runs.
+	PhaseSolve = "solve"
+	// PhaseNoise is the Laplace perturbation of the objective.
+	PhaseNoise = "noise"
+)
+
+// Probe receives phase boundaries from a mechanism run: Phase is called when
+// a named phase starts and returns the func the run calls when it ends. The
+// clock lives entirely on the Probe's side — core packages never read
+// time.Now (fmlint's nakedrand invariant), the serving layer injects a
+// span-backed implementation via Options. A Probe must tolerate calls from
+// whatever goroutine runs the mechanism.
+type Probe interface {
+	Phase(name string) func()
+}
+
+// noopPhase is the shared phase-end func used when no Probe is installed, so
+// the hooks cost a nil check and no allocation on the hot path.
+var noopPhase = func() {}
+
+// startPhase begins a named phase on p, nil-safely.
+func startPhase(p Probe, name string) func() {
+	if p == nil {
+		return noopPhase
+	}
+	return p.Phase(name)
+}
+
 // Options tunes a mechanism run. The zero value reproduces the paper's
 // configuration.
 type Options struct {
@@ -74,6 +111,11 @@ type Options struct {
 	// parallelism cap). The run requests its effective parallelism and uses
 	// only what the governor grants.
 	Governor Governor
+	// Probe, when non-nil, receives phase boundaries (kernel, solve, noise)
+	// so a serving layer can attribute per-request time without core owning
+	// a clock. Nil means no instrumentation and no overhead beyond a nil
+	// check.
+	Probe Probe
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"funcmech/internal/lint/analysis"
+)
+
+// CleanLog patrols the telemetry redaction boundary. The observability layer
+// is built so that only a closed vocabulary of scalars can reach a log line,
+// a trace attribute or a metric label — durations, dimensions, counts,
+// tenant and stream names — and never row data, un-noised coefficients, or
+// any compound value that could smuggle them. The obs.Attr constructors
+// enforce this at compile time (there is deliberately no Any constructor),
+// but the stdlib log and log/slog surfaces take ...any and would happily
+// serialize a *Dataset or a coefficient slice. CleanLog closes that hole: in
+// the request-serving packages, every argument to a log or slog call must
+// have an approved scalar type.
+//
+// Approved: anything with basic underlying type (strings, bools, numerics —
+// named types like time.Duration included), time.Time, error values, the
+// log/slog vocabulary types (Attr, Level, Value, ...), context.Context, and
+// untyped nil. Flagged: slices, arrays, maps, structs, pointers, channels
+// and funcs — if a compound value is worth logging, log its scalar fields
+// through the approved vocabulary, one attribute each.
+var CleanLog = &analysis.Analyzer{
+	Name: "cleanlog",
+	Doc:  "log and slog calls in serving packages may only carry approved scalar types; compound values can smuggle private data past the redaction boundary",
+	Run:  runCleanLog,
+}
+
+// cleanLogPkgs are the packages whose log lines ship to operators: the HTTP
+// layer, the streaming layer, and the mechanism core.
+var cleanLogPkgs = []string{"serve", "stream", "core"}
+
+func runCleanLog(pass *analysis.Pass) error {
+	if !pkgMatches(pass.Pkg.Path, cleanLogPkgs...) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "log", "log/slog":
+			default:
+				return true
+			}
+			for i, arg := range call.Args {
+				t := info.Types[arg].Type
+				if t == nil {
+					continue
+				}
+				// A `vals...` spread is judged by its element type: a
+				// []slog.Attr fan-out is the idiomatic LogAttrs call, a
+				// [][]float64 is exactly the leak this analyzer exists for.
+				if i == len(call.Args)-1 && call.Ellipsis.IsValid() {
+					if s, ok := t.Underlying().(*types.Slice); ok {
+						t = s.Elem()
+					}
+				}
+				if cleanLogApproved(t) {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"%s argument of type %s crosses the telemetry redaction boundary; log scalar fields through approved types instead",
+					fn.Name(), t)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// cleanLogApproved reports whether a value of type t may cross into a log
+// line.
+func cleanLogApproved(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		// Strings, bools, numerics, untyped constants, untyped nil — and
+		// every named type over them (time.Duration, slog.Level).
+		return true
+	case *types.Interface:
+		// error and context.Context carry no row data; a plain `any` value
+		// is opaque to static analysis, so it is allowed here and guarded by
+		// the conventions of the call sites that produce it.
+		return true
+	case *types.Struct:
+		return cleanLogNamedOK(t)
+	case *types.Pointer:
+		// *slog.Logger and friends; any other pointer is a compound value.
+		return cleanLogNamedOK(u.Elem())
+	default:
+		return false
+	}
+}
+
+// cleanLogNamedOK approves the named struct types of the telemetry
+// vocabulary itself: time.Time and everything log/slog defines.
+func cleanLogNamedOK(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "log/slog":
+		return true
+	case "time":
+		return obj.Name() == "Time"
+	}
+	return false
+}

@@ -39,6 +39,7 @@ func Suite() []*analysis.Analyzer {
 		DetFloat,
 		NakedRand,
 		NoAlloc,
+		CleanLog,
 	}
 }
 

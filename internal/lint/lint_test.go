@@ -32,6 +32,10 @@ func TestNoAlloc(t *testing.T) {
 	analysis.RunTest(t, "testdata", lint.NoAlloc, "noalloc/a")
 }
 
+func TestCleanLog(t *testing.T) {
+	analysis.RunTest(t, "testdata", lint.CleanLog, "cleanlog/serve")
+}
+
 // TestSuiteOnCleanPackage runs the whole suite over a trivial conforming
 // package and expects silence.
 func TestSuiteOnCleanPackage(t *testing.T) {

@@ -1,0 +1,70 @@
+// Package serve exercises cleanlog in a request-serving package: log and
+// slog calls may only carry approved scalar types across the telemetry
+// redaction boundary.
+package serve
+
+import (
+	"context"
+	"errors"
+	"log"
+	"log/slog"
+	"time"
+)
+
+// dataset stands in for a compound value holding private rows.
+type dataset struct {
+	rows [][]float64
+	name string
+}
+
+// tenantName is a named string — basic underlying type, approved.
+type tenantName string
+
+// LogScalars logs only approved types — allowed.
+func LogScalars(lg *slog.Logger, name tenantName, d time.Duration, err error) {
+	log.Printf("stream %q folded in %v: %v", name, d, err)
+	lg.Info("fit", slog.String("tenant", string(name)), slog.Duration("elapsed", d))
+	slog.Info("refit", "tenant", name, "records", 42, "ok", true)
+}
+
+// LogAttrsSpread fans out a []slog.Attr — allowed: the element type is part
+// of the telemetry vocabulary.
+func LogAttrsSpread(lg *slog.Logger, attrs []slog.Attr) {
+	lg.LogAttrs(context.Background(), slog.LevelInfo, "trace", attrs...)
+}
+
+// LeakStruct logs a compound value that wraps raw rows.
+func LeakStruct(ds dataset) {
+	log.Printf("registered %v", ds) // want `type .*dataset crosses the telemetry redaction boundary`
+}
+
+// LeakSlice logs the rows themselves.
+func LeakSlice(rows [][]float64) {
+	slog.Info("ingest", "rows", rows) // want `type \[\]\[\]float64 crosses the telemetry redaction boundary`
+}
+
+// LeakPointer logs a pointer to the compound value.
+func LeakPointer(ds *dataset) {
+	log.Println(ds) // want `type \*.*dataset crosses the telemetry redaction boundary`
+}
+
+// LeakMap logs per-tenant coefficients keyed by name.
+func LeakMap(lg *slog.Logger, coef map[string][]float64) {
+	lg.Warn("coefficients", "by_tenant", coef) // want `type map\[string\]\[\]float64 crosses the telemetry redaction boundary`
+}
+
+// LeakSpread fans a slice of slices into a variadic log call.
+func LeakSpread(rows []any) {
+	_ = rows
+	weights := [][]float64{{1, 2}}
+	args := make([]any, 0)
+	_ = args
+	log.Println(weights) // want `type \[\]\[\]float64 crosses the telemetry redaction boundary`
+}
+
+// LogAudited is a sanctioned exception with its justification.
+func LogAudited(ds dataset) {
+	//fmlint:ignore cleanlog fixture proves suppression works; never do this in real code
+	log.Printf("debug dump %v", ds)
+	_ = errors.New("x")
+}

@@ -107,3 +107,16 @@ func (b *Budget) Spent() float64 {
 	defer b.mu.Unlock()
 	return b.spent
 }
+
+// Snapshot returns (total, spent, remaining) under one lock acquisition, so
+// a metrics scrape reading all three can never observe a torn state where
+// spent + remaining ≠ total because a charge landed between calls.
+func (b *Budget) Snapshot() (total, spent, remaining float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	remaining = b.total - b.spent
+	if remaining < 0 {
+		remaining = 0
+	}
+	return b.total, b.spent, remaining
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+)
+
+// Recorder keeps the last N completed traces in a ring and optionally emits
+// each as one structured JSON log line. A nil *Recorder is valid and drops
+// everything, so instrumented code never branches on "is tracing on".
+type Recorder struct {
+	mu     sync.Mutex
+	ring   []TraceView
+	next   int
+	filled bool
+	logger *slog.Logger
+}
+
+// NewRecorder returns a recorder holding the most recent capacity traces
+// (minimum 1). logger may be nil to keep the ring without log emission.
+func NewRecorder(capacity int, logger *slog.Logger) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{ring: make([]TraceView, capacity), logger: logger}
+}
+
+// SetLogger installs (or, with nil, removes) the structured log emitter.
+// Call during setup, before traffic; Record reads the field unlocked.
+func (r *Recorder) SetLogger(logger *slog.Logger) {
+	if r == nil {
+		return
+	}
+	r.logger = logger
+}
+
+// Record stores the finished trace and, when a logger is configured, emits
+// it as a single JSON line. Attributes have already passed the closed Attr
+// vocabulary; the log line carries only what the spans carry.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	v := t.View()
+	r.mu.Lock()
+	r.ring[r.next] = v
+	r.next++
+	if r.next == len(r.ring) {
+		r.next, r.filled = 0, true
+	}
+	r.mu.Unlock()
+	if r.logger != nil {
+		attrs := make([]slog.Attr, 0, 4+len(v.Spans))
+		attrs = append(attrs,
+			slog.String("trace_id", v.ID),
+			slog.String("endpoint", v.Endpoint),
+			slog.Int("status", v.Status),
+			slog.Float64("duration_ms", v.DurationMS),
+		)
+		for _, sp := range v.Spans {
+			g := make([]any, 0, 1+len(sp.Attrs))
+			g = append(g, slog.Float64("duration_ms", sp.DurationMS))
+			for k, val := range sp.Attrs {
+				g = append(g, slog.Any(k, val))
+			}
+			attrs = append(attrs, slog.Group(sp.Name, g...))
+		}
+		r.logger.LogAttrs(context.Background(), slog.LevelInfo, "trace", attrs...)
+	}
+}
+
+// Snapshot returns the buffered traces, oldest first.
+func (r *Recorder) Snapshot() []TraceView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []TraceView
+	if r.filled {
+		out = make([]TraceView, 0, len(r.ring))
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring[:r.next]...)
+	}
+	return out
+}
+
+// ServeHTTP implements GET /v1/debug/traces: the ring as a JSON array,
+// newest last.
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	traces := r.Snapshot()
+	if traces == nil {
+		traces = []TraceView{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"traces": traces})
+}

@@ -60,13 +60,13 @@ func readBody(w http.ResponseWriter, r *http.Request, buf []byte) ([]byte, error
 // target); a frame of any other width is rejected so a binary batch obeys
 // exactly the row contract the JSON endpoints document. On error the
 // response has already been written.
-func decodeFrameBody(w http.ResponseWriter, r *http.Request, want int, dst []float64) ([]float64, bool) {
+func (s *Server) decodeFrameBody(w http.ResponseWriter, r *http.Request, want int, dst []float64) ([]float64, bool) {
 	bufp := frameBufPool.Get().(*[]byte)
 	defer frameBufPool.Put(bufp)
 	frame, err := readBody(w, r, (*bufp)[:0])
 	*bufp = frame[:0] // keep the grown capacity for the next request
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad request body: %v", err)
 		return dst, false
 	}
 	flat, cols, err := fmbin.Decode(frame, dst)
@@ -77,11 +77,11 @@ func decodeFrameBody(w http.ResponseWriter, r *http.Request, want int, dst []flo
 			// problem, not a malformed request.
 			status = http.StatusUnsupportedMediaType
 		}
-		writeError(w, status, codeInvalidRequest, "%v", err)
+		s.writeError(w, status, codeInvalidRequest, "%v", err)
 		return flat, false
 	}
 	if cols != want {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest,
 			"frame has %d columns, want %d features + target", cols, want)
 		return flat[:len(dst)], false
 	}

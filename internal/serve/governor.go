@@ -18,10 +18,11 @@ import (
 // asking for 8 workers next to 3 busy fits on an 8-core cap runs narrower,
 // not queued behind them.
 type Governor struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	cap   int
-	inUse int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cap     int
+	inUse   int
+	waiting int // acquirers currently blocked in cond.Wait (fm_governor_queued)
 }
 
 // NewGovernor returns a governor with the given worker capacity; cap ≤ 0
@@ -45,6 +46,15 @@ func (g *Governor) InUse() int {
 	return g.inUse
 }
 
+// Waiting returns how many acquirers are currently blocked on capacity —
+// the governor's queue depth, a saturation signal an operator can alert on
+// long before latency quantiles move.
+func (g *Governor) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}
+
 // Acquire implements funcmech.Governor: it blocks until at least one worker
 // is free, grants min(want, free) ≥ 1, and returns a release func that must
 // be called exactly once when the accumulation pass finishes. The release
@@ -55,7 +65,9 @@ func (g *Governor) Acquire(want int) (int, func()) {
 	}
 	g.mu.Lock()
 	for g.inUse >= g.cap {
+		g.waiting++
 		g.cond.Wait()
+		g.waiting--
 	}
 	granted := want
 	if free := g.cap - g.inUse; granted > free {

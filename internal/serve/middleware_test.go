@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"funcmech/internal/obs"
+)
+
+// newObsTestServer returns a server with one generated dataset and one tenant,
+// wrapped in the tracing middleware.
+func newObsTestServer(t *testing.T, budget float64) (*Server, http.Handler) {
+	t.Helper()
+	srv := New(Config{MaxConcurrentFits: 2, WorkerCap: 2})
+	ds, err := GenerateCensus("us", 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Registry().Register("census", ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Tenants().Create("acme", budget); err != nil {
+		t.Fatal(err)
+	}
+	return srv, srv.Handler()
+}
+
+func doFit(t *testing.T, h http.Handler, id string) *httptest.ResponseRecorder {
+	t.Helper()
+	body := `{"tenant":"acme","dataset":"census","model":"linear","epsilon":0.5}`
+	req := httptest.NewRequest("POST", "/v1/fit", strings.NewReader(body))
+	if id != "" {
+		req.Header.Set(requestIDHeader, id)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestTracedMiddlewareRequestID(t *testing.T) {
+	_, h := newObsTestServer(t, 10)
+
+	// A client-supplied id round-trips.
+	rec := doFit(t, h, "deadbeefcafe0123")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fit status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(requestIDHeader); got != "deadbeefcafe0123" {
+		t.Fatalf("echoed request id %q, want deadbeefcafe0123", got)
+	}
+
+	// Without one, the server generates a fresh id.
+	rec = doFit(t, h, "")
+	if got := rec.Header().Get(requestIDHeader); len(got) != 16 {
+		t.Fatalf("generated request id %q, want 16 hex chars", got)
+	}
+}
+
+func TestTraceRingCapturesFitSpans(t *testing.T) {
+	_, h := newObsTestServer(t, 10)
+	if rec := doFit(t, h, "feedface00000001"); rec.Code != http.StatusOK {
+		t.Fatalf("fit status %d: %s", rec.Code, rec.Body)
+	}
+
+	req := httptest.NewRequest("GET", "/v1/debug/traces", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traces status %d", rec.Code)
+	}
+	var payload struct {
+		Traces []obs.TraceView `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	var fit *obs.TraceView
+	for i := range payload.Traces {
+		if payload.Traces[i].ID == "feedface00000001" {
+			fit = &payload.Traces[i]
+		}
+	}
+	if fit == nil {
+		t.Fatalf("fit trace not in ring: %s", rec.Body)
+	}
+	if fit.Endpoint != "POST /v1/fit" || fit.Status != http.StatusOK {
+		t.Fatalf("trace result = %q/%d, want POST /v1/fit / 200", fit.Endpoint, fit.Status)
+	}
+	seen := map[string]bool{}
+	for _, sp := range fit.Spans {
+		seen[sp.Name] = true
+	}
+	for _, want := range []string{
+		obs.SpanHandler, obs.SpanDataset, obs.SpanQueueWait,
+		obs.SpanKernel, obs.SpanSolve, obs.SpanNoise,
+	} {
+		if !seen[want] {
+			t.Errorf("fit trace missing %q span; have %v", want, seen)
+		}
+	}
+	// Raw data must not ride along: every span attribute is a scalar from
+	// the closed vocabulary, none of them named like payload fields.
+	for _, sp := range fit.Spans {
+		for k, v := range sp.Attrs {
+			switch v.(type) {
+			case string, bool, float64:
+			default:
+				t.Errorf("span %s attr %s has non-scalar type %T", sp.Name, k, v)
+			}
+		}
+	}
+}
+
+func TestGovernorQueueWaitSpan(t *testing.T) {
+	// Saturate a 1-worker governor, then time an Acquire through the traced
+	// wrapper: the queue_wait span must cover the blocked interval.
+	g := NewGovernor(1)
+	_, release := g.Acquire(1)
+
+	tr := obs.NewTrace("t1")
+	tg := tracedGovernor{g: g, tr: tr}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, r := tg.Acquire(1)
+		r()
+	}()
+
+	// Hold the capacity long enough that the span duration is unambiguous.
+	time.Sleep(20 * time.Millisecond)
+	if got := g.Waiting(); got != 1 {
+		t.Fatalf("Waiting = %d during saturation, want 1", got)
+	}
+	release()
+	<-done
+
+	if wait := tr.SpanDuration(obs.SpanQueueWait); wait < 10*time.Millisecond {
+		t.Fatalf("saturated queue_wait span = %v, want ≥ 10ms", wait)
+	}
+	if got := g.Waiting(); got != 0 {
+		t.Fatalf("Waiting = %d after release, want 0", got)
+	}
+
+	// An idle governor grants immediately: the span exists but is ~zero.
+	tr2 := obs.NewTrace("t2")
+	tg2 := tracedGovernor{g: g, tr: tr2}
+	_, r := tg2.Acquire(1)
+	r()
+	if wait := tr2.SpanDuration(obs.SpanQueueWait); wait > 5*time.Millisecond {
+		t.Fatalf("idle queue_wait span = %v, want ~0", wait)
+	}
+}
+
+func TestMetricsExpositionTracksFits(t *testing.T) {
+	srv, h := newObsTestServer(t, 1.2)
+
+	// Two fits at ε=0.5 succeed; the third exhausts the budget → 402.
+	for i := 0; i < 2; i++ {
+		if rec := doFit(t, h, ""); rec.Code != http.StatusOK {
+			t.Fatalf("fit %d status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	if rec := doFit(t, h, ""); rec.Code != http.StatusPaymentRequired {
+		t.Fatalf("over-budget fit status %d, want 402", rec.Code)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("exposition content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"fm_fits_total 2",
+		"fm_fits_refused_budget_total 1",
+		"fm_fits_error_total 0",
+		`fm_refusals_total{reason="budget_exhausted"} 1`,
+		`fm_epsilon_spent{tenant="acme"} 1`,
+		`fm_epsilon_total{tenant="acme"} 1.2`,
+		`fm_http_responses_total{endpoint="POST /v1/fit",code="200"} 2`,
+		`fm_http_responses_total{endpoint="POST /v1/fit",code="402"} 1`,
+		"fm_fit_seconds_count 2",
+		"fm_fit_seconds_bucket{le=\"+Inf\"} 2",
+		"fm_governor_worker_cap 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The histogram the exposition renders is the one /v1/stats derives its
+	// quantiles from: its count must equal the success counter.
+	if got, want := srv.stats.Latency().Count(), uint64(srv.stats.Fits()); got != want {
+		t.Fatalf("fm_fit_seconds count %d != fm_fits_total %d", got, want)
+	}
+}
+
+func TestMetricsEndpointLabelsUseRoutePatterns(t *testing.T) {
+	_, h := newObsTestServer(t, 10)
+	// A request to an unknown path must not mint a per-path label series.
+	req := httptest.NewRequest("GET", "/no/such/route/with/secret-name", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	if strings.Contains(body, "secret-name") {
+		t.Fatalf("raw request path leaked into metric labels:\n%s", body)
+	}
+	if !strings.Contains(body, `endpoint="unmatched"`) {
+		t.Fatalf("unmatched requests not folded into the closed label set")
+	}
+}
+
+func TestStatsEndpointSplitsOutcomes(t *testing.T) {
+	_, h := newObsTestServer(t, 0.5)
+	if rec := doFit(t, h, ""); rec.Code != http.StatusOK {
+		t.Fatalf("fit status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := doFit(t, h, ""); rec.Code != http.StatusPaymentRequired {
+		t.Fatalf("second fit status %d, want 402", rec.Code)
+	}
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats["fits_total"].(float64); got != 1 {
+		t.Fatalf("fits_total = %v, want 1", got)
+	}
+	if got := stats["fits_refused_budget"].(float64); got != 1 {
+		t.Fatalf("fits_refused_budget = %v, want 1", got)
+	}
+	if got := stats["fits_error"].(float64); got != 0 {
+		t.Fatalf("fits_error = %v, want 0", got)
+	}
+	// The historical aggregate still holds: failed = refused + error.
+	if got := stats["fits_failed"].(float64); got != 1 {
+		t.Fatalf("fits_failed = %v, want 1", got)
+	}
+}
+
+func TestConcurrentFitsKeepMetricsConsistent(t *testing.T) {
+	srv, h := newObsTestServer(t, 100)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doFit(t, h, "")
+		}()
+	}
+	wg.Wait()
+	if got := srv.stats.Fits(); got != 8 {
+		t.Fatalf("fits = %d, want 8", got)
+	}
+	if got := srv.stats.Latency().Count(); got != 8 {
+		t.Fatalf("latency count = %d, want 8", got)
+	}
+	if got := srv.governor.InUse(); got != 0 {
+		t.Fatalf("workers in use after drain = %d, want 0", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"funcmech"
+	"funcmech/internal/obs"
 	"funcmech/internal/stream"
 	"funcmech/internal/wal"
 )
@@ -37,6 +38,8 @@ type Server struct {
 	sem      chan struct{} // counting semaphore over fits in flight
 	start    time.Time
 	mux      *http.ServeMux
+	metrics  *metrics      // Prometheus families behind GET /metrics
+	recorder *obs.Recorder // trace ring behind GET /v1/debug/traces
 }
 
 // New returns a Server with empty registry and tenant directory.
@@ -55,6 +58,10 @@ func New(cfg Config) *Server {
 		start:    time.Now(),
 		mux:      http.NewServeMux(),
 	}
+	s.recorder = obs.NewRecorder(traceRingSize, nil)
+	s.metrics = newMetrics(s)
+	s.mux.Handle("GET /metrics", s.metrics.reg)
+	s.mux.Handle("GET /v1/debug/traces", s.recorder)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
@@ -92,8 +99,9 @@ func (s *Server) Governor() *Governor { return s.governor }
 // MaxInFlight returns the fit-admission bound.
 func (s *Server) MaxInFlight() int { return cap(s.sem) }
 
-// Handler returns the service's HTTP routes.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP routes, wrapped in the tracing and
+// metrics middleware (see middleware.go).
+func (s *Server) Handler() http.Handler { return s.traced(s.mux) }
 
 // apiError is the typed error envelope every non-2xx response carries.
 type apiError struct {
@@ -123,15 +131,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // headers already sent; nothing useful left to do on error
 }
 
-func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+// writeError writes the typed error envelope and counts the refusal by its
+// code — a Server method so fm_refusals_total{reason} increments exactly
+// where the API contract's error codes are assigned.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	s.metrics.refusals.With(code).Inc()
 	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -187,7 +199,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req datasetRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	var (
@@ -195,35 +207,35 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	if req.Name == "" {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset registration requires a name")
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset registration requires a name")
 		return
 	}
 	switch {
 	case req.Generate != nil && (req.Schema != nil || len(req.Rows) > 0):
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: generate and schema/rows are mutually exclusive", req.Name)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: generate and schema/rows are mutually exclusive", req.Name)
 		return
 	case req.Generate != nil:
 		ds, err = GenerateCensus(req.Generate.Profile, req.Generate.N, req.Generate.Seed)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 			return
 		}
 	case req.Schema != nil:
 		ds, err = datasetFromRows(*req.Schema, req.Rows)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: %v", req.Name, err)
+			s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: %v", req.Name, err)
 			return
 		}
 		if ds.Len() == 0 {
-			writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: no rows supplied", req.Name)
+			s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: no rows supplied", req.Name)
 			return
 		}
 	default:
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: supply either generate or schema+rows", req.Name)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: supply either generate or schema+rows", req.Name)
 		return
 	}
 	if err := s.registry.Register(req.Name, ds); err != nil {
-		writeError(w, http.StatusConflict, codeConflict, "%v", err)
+		s.writeError(w, http.StatusConflict, codeConflict, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, datasetInfo{Name: req.Name, Records: ds.Len(), Features: ds.NumFeatures()})
@@ -237,31 +249,31 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRegisterDatasetBinary(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "binary dataset registration requires a name query parameter")
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "binary dataset registration requires a name query parameter")
 		return
 	}
 	rawSchema := r.URL.Query().Get("schema")
 	if rawSchema == "" {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: binary registration requires a schema query parameter", name)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: binary registration requires a schema query parameter", name)
 		return
 	}
 	var sj schemaJSON
 	if err := json.Unmarshal([]byte(rawSchema), &sj); err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: bad schema parameter: %v", name, err)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: bad schema parameter: %v", name, err)
 		return
 	}
 	schema := schemaFromJSON(sj)
 	if err := schema.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: %v", name, err)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: %v", name, err)
 		return
 	}
 	want := len(schema.Features) + 1
-	flat, ok := decodeFrameBody(w, r, want, nil)
+	flat, ok := s.decodeFrameBody(w, r, want, nil)
 	if !ok {
 		return
 	}
 	if len(flat) == 0 {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: no rows supplied", name)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "dataset %q: no rows supplied", name)
 		return
 	}
 	ds := funcmech.NewDataset(schema)
@@ -272,7 +284,7 @@ func (s *Server) handleRegisterDatasetBinary(w http.ResponseWriter, r *http.Requ
 		ds.Append(row[:want-1], row[want-1])
 	}
 	if err := s.registry.Register(name, ds); err != nil {
-		writeError(w, http.StatusConflict, codeConflict, "%v", err)
+		s.writeError(w, http.StatusConflict, codeConflict, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, datasetInfo{Name: name, Records: ds.Len(), Features: ds.NumFeatures()})
@@ -344,7 +356,7 @@ func infoFor(t *Tenant) tenantInfo {
 
 func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 	var req tenantRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	t, err := s.tenants.Create(req.Name, req.Budget)
@@ -360,7 +372,7 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 				status, code = http.StatusConflict, codeConflict
 			}
 		}
-		writeError(w, status, code, "%v", err)
+		s.writeError(w, status, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, infoFor(t))
@@ -369,7 +381,7 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.tenants.Lookup(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, "unknown tenant %q", r.PathValue("name"))
+		s.writeError(w, http.StatusNotFound, codeNotFound, "unknown tenant %q", r.PathValue("name"))
 		return
 	}
 	writeJSON(w, http.StatusOK, infoFor(t))
@@ -396,23 +408,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		streams = append(streams, infoForStream(st))
 	}
 	payload := map[string]any{
-		"fits_total":     s.stats.Fits(),
-		"fits_failed":    s.stats.Failed(),
-		"fits_in_flight": len(s.sem),
-		"worker_cap":     s.governor.Cap(),
-		"workers_in_use": s.governor.InUse(),
-		"fit_latency_ms": map[string]float64{"p50": ms(p50), "p99": ms(p99)},
+		"fits_total":          s.stats.Fits(),
+		"fits_failed":         s.stats.Failed(),
+		"fits_refused_budget": s.stats.FitsRefusedBudget(),
+		"fits_error":          s.stats.FitsError(),
+		"fits_in_flight":      len(s.sem),
+		"worker_cap":          s.governor.Cap(),
+		"workers_in_use":      s.governor.InUse(),
+		"workers_queued":      s.governor.Waiting(),
+		"fit_latency_ms":      map[string]float64{"p50": ms(p50), "p99": ms(p99)},
 		"ingest": map[string]int64{
 			"records_total": s.stats.IngestRecords(),
 			"batches_total": s.stats.IngestBatches(),
 		},
-		"refits_total":      s.stats.Refits(),
-		"refits_failed":     s.stats.RefitsFailed(),
-		"streams":           streams,
-		"tenants":           tenants,
-		"datasets":          s.registry.Names(),
-		"uptime_seconds":    time.Since(s.start).Seconds(),
-		"max_fits_inflight": cap(s.sem),
+		"refits_total":          s.stats.Refits(),
+		"refits_failed":         s.stats.RefitsFailed(),
+		"refits_refused_budget": s.stats.RefitsRefusedBudget(),
+		"refits_error":          s.stats.RefitsError(),
+		"streams":               streams,
+		"tenants":               tenants,
+		"datasets":              s.registry.Names(),
+		"uptime_seconds":        time.Since(s.start).Seconds(),
+		"max_fits_inflight":     cap(s.sem),
 	}
 	if s.wlog != nil {
 		payload["wal"] = map[string]any{
@@ -508,7 +525,7 @@ func buildFitCore(postProcess string, lambdaFactor float64, seed *int64, model s
 	return opts, nil
 }
 
-func (o fitOptions) build(model string, gov *Governor) ([]funcmech.Option, error) {
+func (o fitOptions) build(model string, gov funcmech.Governor) ([]funcmech.Option, error) {
 	core, err := buildFitCore(o.PostProcess, o.LambdaFactor, o.Seed, model, o.RidgeWeight)
 	if err != nil {
 		return nil, err
@@ -535,37 +552,50 @@ func (o fitOptions) build(model string, gov *Governor) ([]funcmech.Option, error
 //
 //fmlint:releases-noise
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
 	var req fitRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	tenant, ok := s.tenants.Lookup(req.Tenant)
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, "unknown tenant %q", req.Tenant)
+		s.writeError(w, http.StatusNotFound, codeNotFound, "unknown tenant %q", req.Tenant)
 		return
 	}
+	dsSpan := tr.StartSpan(obs.SpanDataset)
 	ds, ok := s.registry.Lookup(req.Dataset)
-	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, "unknown dataset %q", req.Dataset)
+	if ok {
+		dsSpan.End(obs.Int("records", int64(ds.Len())), obs.Int("features", int64(ds.NumFeatures())))
+	} else {
+		dsSpan.End()
+		s.writeError(w, http.StatusNotFound, codeNotFound, "unknown dataset %q", req.Dataset)
 		return
 	}
-	opts, err := req.Options.build(req.Model, s.governor)
+	// The governor is wrapped per request so time blocked on worker capacity
+	// lands on this trace as a queue_wait span; the probe attributes kernel
+	// vs solve vs noise time the same way. With no trace on the context both
+	// wrappers degrade to the bare calls.
+	opts, err := req.Options.build(req.Model, tracedGovernor{g: s.governor, tr: tr})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		return
 	}
+	opts = append(opts, funcmech.WithProbe(obs.TraceProbe{T: tr}))
 	if req.Epsilon <= 0 {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "non-positive epsilon %v", req.Epsilon)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "non-positive epsilon %v", req.Epsilon)
 		return
 	}
 
 	// Admission: at most cap(s.sem) fits in flight; the rest queue here
 	// until a slot frees or the client gives up.
+	admSpan := tr.StartSpan(obs.SpanQueueWait)
 	select {
 	case s.sem <- struct{}{}:
+		admSpan.End(obs.Str("stage", "admission"))
 		defer func() { <-s.sem }()
 	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, codeFitFailed, "cancelled while queued for a fit slot")
+		admSpan.End(obs.Str("stage", "admission"))
+		s.writeError(w, http.StatusServiceUnavailable, codeFitFailed, "cancelled while queued for a fit slot")
 		return
 	}
 
@@ -574,9 +604,9 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	// WAL append returns, a crash anywhere below can only over-count the
 	// tenant's spend. The fits run uncharged via the package-level functions
 	// because the session was already debited here.
-	if err := s.chargeDurable(tenant, wal.OpFit, req.Dataset, req.Epsilon, opts); err != nil {
-		s.stats.RecordFit(time.Since(start), false)
-		writeChargeError(w, tenant, err)
+	if err := s.chargeDurable(tr, tenant, wal.OpFit, req.Dataset, req.Epsilon, opts); err != nil {
+		s.stats.RecordFit(time.Since(start), outcomeFor(err))
+		s.writeChargeError(w, tenant, err)
 		return
 	}
 	var (
@@ -598,12 +628,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	elapsed := time.Since(start)
-	s.stats.RecordFit(elapsed, err == nil)
+	s.stats.RecordFit(elapsed, outcomeFor(err))
 
 	if err != nil {
 		// The charge stands — a post-debit failure is itself data-dependent
 		// information, so refunding it would be unsound (see Session docs).
-		writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
+		s.writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
 		return
 	}
 	tenant.fits.Add(1)

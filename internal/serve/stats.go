@@ -1,68 +1,98 @@
 package serve
 
 import (
-	"sort"
-	"sync"
+	"errors"
 	"sync/atomic"
 	"time"
+
+	"funcmech"
+	"funcmech/internal/obs"
 )
 
-// latencyWindow is how many recent fit durations the quantile estimate sees.
-// A ring keeps the cost O(1) per fit and bounds memory for a long-lived
-// process; quantiles over the window track current behaviour rather than
-// all-time history, which is what an operator watching p99 wants.
-const latencyWindow = 1024
+// FitOutcome classifies how a fit or refit attempt ended, so a privacy
+// refusal (the budget working as designed, HTTP 402) is never conflated with
+// a genuine failure (HTTP 4xx/5xx after admission) in any counter.
+type FitOutcome int
 
-// Stats aggregates service-level counters: fits served/refused, a sliding
-// window of fit latencies for quantile estimates, streaming-ingest volume
-// and refit counts. Safe for concurrent use.
-type Stats struct {
-	mu        sync.Mutex
-	fits      int64
-	failed    int64
-	durations [latencyWindow]time.Duration
-	count     int // total observations ever (ring index derives from it)
+const (
+	// FitOK is a completed release.
+	FitOK FitOutcome = iota
+	// FitRefusedBudget is a charge refused with ErrBudgetExhausted.
+	FitRefusedBudget
+	// FitError is everything else: bad requests that reached the charge,
+	// journal failures, unbounded objectives.
+	FitError
+)
 
-	// Streaming counters: ingest volume is tracked with atomics because the
-	// ingest hot path should not contend with the latency ring's mutex.
-	ingestRecords atomic.Int64
-	ingestBatches atomic.Int64
-	refits        atomic.Int64
-	refitsFailed  atomic.Int64
+// outcomeFor classifies a handler error into a FitOutcome.
+func outcomeFor(err error) FitOutcome {
+	switch {
+	case err == nil:
+		return FitOK
+	case errors.Is(err, funcmech.ErrBudgetExhausted):
+		return FitRefusedBudget
+	default:
+		return FitError
+	}
 }
 
-// NewStats returns zeroed counters.
-func NewStats() *Stats { return &Stats{} }
+// Stats aggregates service-level counters: fits and refits by outcome,
+// streaming-ingest volume, and a fixed-bucket latency histogram of
+// successful fits that both /v1/stats quantiles and the /metrics
+// fm_fit_seconds family read from. Safe for concurrent use; everything is
+// atomics, so the ingest and fit hot paths never share a lock.
+type Stats struct {
+	fits              atomic.Int64
+	fitsRefusedBudget atomic.Int64
+	fitsError         atomic.Int64
+
+	refits              atomic.Int64
+	refitsRefusedBudget atomic.Int64
+	refitsError         atomic.Int64
+
+	ingestRecords atomic.Int64
+	ingestBatches atomic.Int64
+
+	latency *obs.Histogram // successful fit durations, seconds
+}
+
+// NewStats returns zeroed counters over the default latency buckets.
+func NewStats() *Stats {
+	return &Stats{latency: obs.NewHistogram(nil)}
+}
+
+// Latency returns the fit-latency histogram, for registration on a metrics
+// registry (fm_fit_seconds) and for bucket-sum invariant tests.
+func (s *Stats) Latency() *obs.Histogram { return s.latency }
 
 // RecordFit observes one completed fit attempt. Only successful fits enter
-// the latency window: refusals (e.g. budget exhaustion) return in
+// the latency histogram: refusals (e.g. budget exhaustion) return in
 // microseconds before touching data, and letting them in would dilute the
 // quantiles toward zero exactly when an operator most needs honest numbers.
-func (s *Stats) RecordFit(d time.Duration, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !ok {
-		s.failed++
-		return
+func (s *Stats) RecordFit(d time.Duration, outcome FitOutcome) {
+	switch outcome {
+	case FitOK:
+		s.fits.Add(1)
+		s.latency.Observe(d.Seconds())
+	case FitRefusedBudget:
+		s.fitsRefusedBudget.Add(1)
+	default:
+		s.fitsError.Add(1)
 	}
-	s.fits++
-	s.durations[s.count%latencyWindow] = d
-	s.count++
 }
 
 // Fits returns the successful-fit count.
-func (s *Stats) Fits() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fits
-}
+func (s *Stats) Fits() int64 { return s.fits.Load() }
 
-// Failed returns the failed-fit count (budget refusals included).
-func (s *Stats) Failed() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.failed
-}
+// FitsRefusedBudget returns the fits refused for budget exhaustion.
+func (s *Stats) FitsRefusedBudget() int64 { return s.fitsRefusedBudget.Load() }
+
+// FitsError returns the fits that failed for any non-budget reason.
+func (s *Stats) FitsError() int64 { return s.fitsError.Load() }
+
+// Failed returns refused + errored fits — the historical aggregate that
+// /v1/stats keeps exposing as fits_failed.
+func (s *Stats) Failed() int64 { return s.fitsRefusedBudget.Load() + s.fitsError.Load() }
 
 // RecordIngest observes one accepted ingest batch of n records.
 func (s *Stats) RecordIngest(n int) {
@@ -85,47 +115,38 @@ func (s *Stats) IngestRecords() int64 { return s.ingestRecords.Load() }
 func (s *Stats) IngestBatches() int64 { return s.ingestBatches.Load() }
 
 // RecordRefit observes one refit-from-stream attempt.
-func (s *Stats) RecordRefit(ok bool) {
-	if ok {
+func (s *Stats) RecordRefit(outcome FitOutcome) {
+	switch outcome {
+	case FitOK:
 		s.refits.Add(1)
-	} else {
-		s.refitsFailed.Add(1)
+	case FitRefusedBudget:
+		s.refitsRefusedBudget.Add(1)
+	default:
+		s.refitsError.Add(1)
 	}
 }
 
 // Refits returns the successful refit-from-stream count.
 func (s *Stats) Refits() int64 { return s.refits.Load() }
 
-// RefitsFailed returns the failed refit-from-stream count.
-func (s *Stats) RefitsFailed() int64 { return s.refitsFailed.Load() }
+// RefitsRefusedBudget returns the refits refused for budget exhaustion.
+func (s *Stats) RefitsRefusedBudget() int64 { return s.refitsRefusedBudget.Load() }
 
-// Percentiles returns the p50 and p99 fit latency over the sliding window,
-// or zeros when nothing has been observed.
-func (s *Stats) Percentiles() (p50, p99 time.Duration) {
-	s.mu.Lock()
-	n := s.count
-	if n > latencyWindow {
-		n = latencyWindow
-	}
-	window := make([]time.Duration, n)
-	copy(window, s.durations[:n])
-	s.mu.Unlock()
-	if n == 0 {
-		return 0, 0
-	}
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-	return window[quantileIndex(n, 0.50)], window[quantileIndex(n, 0.99)]
+// RefitsError returns the refits that failed for any non-budget reason.
+func (s *Stats) RefitsError() int64 { return s.refitsError.Load() }
+
+// RefitsFailed returns refused + errored refits (the historical aggregate).
+func (s *Stats) RefitsFailed() int64 {
+	return s.refitsRefusedBudget.Load() + s.refitsError.Load()
 }
 
-// quantileIndex maps quantile q onto a sorted slice of length n using the
-// nearest-rank convention (⌈q·n⌉, 1-based).
-func quantileIndex(n int, q float64) int {
-	i := int(q*float64(n)+0.5) - 1
-	if i < 0 {
-		i = 0
+// Percentiles returns the p50 and p99 fit latency derived from the
+// fixed-bucket histogram by linear interpolation — all-time, bounded memory,
+// shared with the Prometheus exposition so the two surfaces can never
+// disagree. Zeros when nothing has been observed.
+func (s *Stats) Percentiles() (p50, p99 time.Duration) {
+	toDur := func(sec float64) time.Duration {
+		return time.Duration(sec * float64(time.Second))
 	}
-	if i >= n {
-		i = n - 1
-	}
-	return i
+	return toDur(s.latency.Quantile(0.50)), toDur(s.latency.Quantile(0.99))
 }

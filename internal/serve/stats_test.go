@@ -1,9 +1,13 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
+
+	"funcmech"
 )
 
 func TestStatsCountsAndQuantiles(t *testing.T) {
@@ -12,41 +16,104 @@ func TestStatsCountsAndQuantiles(t *testing.T) {
 		t.Fatalf("empty stats quantiles = %v, %v", p50, p99)
 	}
 	for i := 1; i <= 100; i++ {
-		s.RecordFit(time.Duration(i)*time.Millisecond, true)
+		s.RecordFit(time.Duration(i)*time.Millisecond, FitOK)
 	}
-	for i := 0; i < 10; i++ {
-		// Failures must count, but stay out of the latency window: a flood
-		// of instant refusals may not drag the quantiles toward zero.
-		s.RecordFit(0, false)
+	for i := 0; i < 6; i++ {
+		// Refusals and errors must count, but stay out of the latency
+		// histogram: a flood of instant refusals may not drag the quantiles
+		// toward zero.
+		s.RecordFit(0, FitRefusedBudget)
+	}
+	for i := 0; i < 4; i++ {
+		s.RecordFit(0, FitError)
 	}
 	if got := s.Fits(); got != 100 {
 		t.Fatalf("Fits = %d, want 100", got)
 	}
+	if got := s.FitsRefusedBudget(); got != 6 {
+		t.Fatalf("FitsRefusedBudget = %d, want 6", got)
+	}
+	if got := s.FitsError(); got != 4 {
+		t.Fatalf("FitsError = %d, want 4", got)
+	}
 	if got := s.Failed(); got != 10 {
 		t.Fatalf("Failed = %d, want 10", got)
 	}
+	// Quantiles come from the fixed-bucket histogram, so they are exact only
+	// to bucket resolution: p50 of 1..100ms lands in the (25ms, 50ms] bucket,
+	// p99 in the (50ms, 100ms] bucket.
 	p50, p99 := s.Percentiles()
-	if p50 != 50*time.Millisecond {
-		t.Fatalf("p50 = %v, want 50ms", p50)
+	if p50 <= 25*time.Millisecond || p50 > 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want within (25ms, 50ms]", p50)
 	}
-	if p99 != 99*time.Millisecond {
-		t.Fatalf("p99 = %v, want 99ms", p99)
+	if p99 <= 50*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want within (50ms, 100ms]", p99)
+	}
+	if p99 <= p50 {
+		t.Fatalf("p99 (%v) must exceed p50 (%v)", p99, p50)
 	}
 }
 
-func TestStatsWindowSlides(t *testing.T) {
+func TestStatsHistogramSumsToFitCounter(t *testing.T) {
+	// The /metrics invariant: the fm_fit_seconds bucket counts (and its
+	// _count) must equal fm_fits_total, because only successful fits are
+	// observed and every successful fit is observed exactly once.
 	s := NewStats()
-	// Fill the window with 1ms, then overwrite it entirely with 100ms: the
-	// quantiles must reflect only the recent window.
-	for i := 0; i < latencyWindow; i++ {
-		s.RecordFit(time.Millisecond, true)
+	for i := 1; i <= 57; i++ {
+		s.RecordFit(time.Duration(i)*time.Millisecond, FitOK)
 	}
-	for i := 0; i < latencyWindow; i++ {
-		s.RecordFit(100*time.Millisecond, true)
+	s.RecordFit(0, FitRefusedBudget)
+	s.RecordFit(0, FitError)
+	h := s.Latency()
+	if got, want := h.Count(), uint64(s.Fits()); got != want {
+		t.Fatalf("histogram count %d != fits counter %d", got, want)
 	}
-	p50, p99 := s.Percentiles()
-	if p50 != 100*time.Millisecond || p99 != 100*time.Millisecond {
-		t.Fatalf("sliding window quantiles = %v, %v, want 100ms both", p50, p99)
+	var total uint64
+	for _, c := range h.BucketCounts() {
+		total += c
+	}
+	// BucketCounts are per-bucket (non-cumulative) and include the overflow
+	// bucket, so they must sum exactly to the observation count.
+	if got, want := total, uint64(s.Fits()); got != want {
+		t.Fatalf("bucket counts sum to %d, want fits counter %d", got, want)
+	}
+}
+
+func TestStatsRefitOutcomes(t *testing.T) {
+	s := NewStats()
+	s.RecordRefit(FitOK)
+	s.RecordRefit(FitOK)
+	s.RecordRefit(FitRefusedBudget)
+	s.RecordRefit(FitError)
+	if got := s.Refits(); got != 2 {
+		t.Fatalf("Refits = %d, want 2", got)
+	}
+	if got := s.RefitsRefusedBudget(); got != 1 {
+		t.Fatalf("RefitsRefusedBudget = %d, want 1", got)
+	}
+	if got := s.RefitsError(); got != 1 {
+		t.Fatalf("RefitsError = %d, want 1", got)
+	}
+	if got := s.RefitsFailed(); got != 2 {
+		t.Fatalf("RefitsFailed = %d, want 2", got)
+	}
+}
+
+func TestOutcomeFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want FitOutcome
+	}{
+		{nil, FitOK},
+		{funcmech.ErrBudgetExhausted, FitRefusedBudget},
+		{fmt.Errorf("tenant: %w", funcmech.ErrBudgetExhausted), FitRefusedBudget},
+		{errors.New("solver exploded"), FitError},
+		{fmt.Errorf("%w: disk gone", errWALAppend), FitError},
+	}
+	for _, tc := range cases {
+		if got := outcomeFor(tc.err); got != tc.want {
+			t.Errorf("outcomeFor(%v) = %v, want %v", tc.err, got, tc.want)
+		}
 	}
 }
 
@@ -58,7 +125,7 @@ func TestStatsConcurrentRecording(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				s.RecordFit(time.Millisecond, true)
+				s.RecordFit(time.Millisecond, FitOK)
 				s.Percentiles()
 			}
 		}()
@@ -66,5 +133,8 @@ func TestStatsConcurrentRecording(t *testing.T) {
 	wg.Wait()
 	if got := s.Fits(); got != 4000 {
 		t.Fatalf("Fits = %d, want 4000", got)
+	}
+	if got := s.Latency().Count(); got != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", got)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"funcmech"
+	"funcmech/internal/obs"
 	"funcmech/internal/stream"
 	"funcmech/internal/wal"
 )
@@ -64,15 +65,15 @@ func infoForStream(s *stream.Stream) streamInfo {
 
 func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 	var req streamRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Name == "" {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream creation requires a name")
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream creation requires a name")
 		return
 	}
 	if req.Schema == nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q: a schema is required", req.Name)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q: a schema is required", req.Name)
 		return
 	}
 	st, err := s.streams.Create(req.Name, stream.Config{
@@ -86,7 +87,7 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		if _, exists := s.streams.Lookup(req.Name); exists {
 			status, code = http.StatusConflict, codeConflict
 		}
-		writeError(w, status, code, "%v", err)
+		s.writeError(w, status, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, infoForStream(st))
@@ -123,7 +124,7 @@ type ingestResponse struct {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.streams.Lookup(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, "unknown stream %q", r.PathValue("name"))
+		s.writeError(w, http.StatusNotFound, codeNotFound, "unknown stream %q", r.PathValue("name"))
 		return
 	}
 	want := len(st.Config().Schema.Features) + 1
@@ -134,21 +135,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// Binary negotiation (docs/FORMAT.md): the body is one fmbin frame
 		// whose columns are the same feature-vector-plus-target rows the
 		// JSON shape carries.
-		flat, ok = decodeFrameBody(w, r, want, (*bufp)[:0])
+		flat, ok = s.decodeFrameBody(w, r, want, (*bufp)[:0])
 		*bufp = flat // keep the grown capacity for the next request
 		if !ok {
 			return
 		}
 	} else {
 		var req ingestRequest
-		if !decodeBody(w, r, &req) {
+		if !s.decodeBody(w, r, &req) {
 			return
 		}
 		var err error
 		flat, err = parseFlatRows(req.Rows, want, (*bufp)[:0])
 		*bufp = flat // keep the grown capacity for the next request
 		if err != nil {
-			writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q: %v", st.Name(), err)
+			s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q: %v", st.Name(), err)
 			return
 		}
 	}
@@ -158,17 +159,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// share the same capacity instead of oversubscribing the machine. The
 	// draw happens inside the gate — after the shard lock is held — so a
 	// batch queued behind another batch does not sit on global capacity.
+	tr := obs.TraceFrom(r.Context())
 	accepted, err := st.IngestFlatGated(flat, func() func() {
+		sp := tr.StartSpan(obs.SpanQueueWait)
 		_, release := s.governor.Acquire(1)
+		sp.End(obs.Str("stage", "governor"), obs.Int("want", 1), obs.Int("granted", 1))
 		return release
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		return
 	}
 	s.stats.RecordIngest(accepted)
 	records, batches := st.Counts()
 	if s.wlog != nil {
+		wsp := tr.StartSpan(obs.SpanWALFsync)
 		// Journal the post-batch sequence so a crash never rewinds a
 		// stream's sequence numbers. Best-effort toward the client by
 		// design: the batch is already folded, so surfacing an append
@@ -182,6 +187,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if _, err := s.wlog.Append(wal.Event{Kind: wal.EventIngest, Ref: st.Name(), Seq: records, Batches: batches}); err != nil {
 			log.Printf("serve: journaling ingest sequence for stream %q: %v", st.Name(), err)
 		}
+		wsp.End(obs.Str("op", "ingest"))
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Stream:   st.Name(),
@@ -234,29 +240,31 @@ func (o refitOptions) build(model string) ([]funcmech.Option, error) {
 func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.streams.Lookup(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, "unknown stream %q", r.PathValue("name"))
+		s.writeError(w, http.StatusNotFound, codeNotFound, "unknown stream %q", r.PathValue("name"))
 		return
 	}
 	var req refitRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	tenant, ok := s.tenants.Lookup(req.Tenant)
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, "unknown tenant %q", req.Tenant)
+		s.writeError(w, http.StatusNotFound, codeNotFound, "unknown tenant %q", req.Tenant)
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
 	opts, err := req.Options.build(req.Model)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		return
 	}
+	opts = append(opts, funcmech.WithProbe(obs.TraceProbe{T: tr}))
 	if req.Epsilon <= 0 {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "non-positive epsilon %v", req.Epsilon)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "non-positive epsilon %v", req.Epsilon)
 		return
 	}
 	if st.Records() == 0 {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q has no records", st.Name())
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "stream %q has no records", st.Name())
 		return
 	}
 
@@ -265,12 +273,14 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	// would only add latency. Budget enforcement is identical to /v1/fit —
 	// charge, journal the debit durably, and only then draw noise.
 	start := time.Now()
-	if err := s.chargeDurable(tenant, wal.OpRefit, st.Name(), req.Epsilon, opts); err != nil {
-		s.stats.RecordRefit(false)
-		writeChargeError(w, tenant, err)
+	if err := s.chargeDurable(tr, tenant, wal.OpRefit, st.Name(), req.Epsilon, opts); err != nil {
+		s.stats.RecordRefit(outcomeFor(err))
+		s.writeChargeError(w, tenant, err)
 		return
 	}
+	accSpan := tr.StartSpan(obs.SpanDataset)
 	acc := st.Merged()
+	accSpan.End(obs.Int("records", int64(acc.Len())), obs.Str("source", "stream"))
 	var (
 		weights []float64
 		report  *funcmech.Report
@@ -290,11 +300,11 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	elapsed := time.Since(start)
-	s.stats.RecordRefit(err == nil)
+	s.stats.RecordRefit(outcomeFor(err))
 
 	if err != nil {
 		// The charge stands; see handleFit.
-		writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
+		s.writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
 		return
 	}
 	tenant.fits.Add(1)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"funcmech"
+	"funcmech/internal/obs"
 	"funcmech/internal/wal"
 )
 
@@ -38,8 +39,10 @@ func (s *Server) WAL() *wal.Log { return s.wlog }
 
 // chargeDurable debits the tenant's session and, with a WAL attached,
 // journals the debited cost before returning. op is wal.OpFit or
-// wal.OpRefit; ref names the dataset or stream the release reads.
-func (s *Server) chargeDurable(t *Tenant, op, ref string, epsilon float64, opts []funcmech.Option) error {
+// wal.OpRefit; ref names the dataset or stream the release reads. The
+// journal append (fsynced with -wal-fsync) is timed as a wal_fsync span on
+// tr — this is the durability cost a fit pays before any noise is drawn.
+func (s *Server) chargeDurable(tr *obs.Trace, t *Tenant, op, ref string, epsilon float64, opts []funcmech.Option) error {
 	cost, err := t.Session.Charge(epsilon, opts...)
 	if err != nil {
 		return err
@@ -47,13 +50,16 @@ func (s *Server) chargeDurable(t *Tenant, op, ref string, epsilon float64, opts 
 	if s.wlog == nil {
 		return nil
 	}
-	if _, err := s.wlog.Append(wal.Event{
+	sp := tr.StartSpan(obs.SpanWALFsync)
+	_, err = s.wlog.Append(wal.Event{
 		Kind:    wal.EventCharge,
 		Tenant:  t.Name,
 		Op:      op,
 		Ref:     ref,
 		Epsilon: cost,
-	}); err != nil {
+	})
+	sp.End(obs.Str("op", op), obs.Float("epsilon", cost))
+	if err != nil {
 		return fmt.Errorf("%w: %v", errWALAppend, err)
 	}
 	return nil
@@ -61,17 +67,17 @@ func (s *Server) chargeDurable(t *Tenant, op, ref string, epsilon float64, opts 
 
 // writeChargeError maps a chargeDurable failure onto the typed error
 // surface: exhaustion → 402, a malformed ε → 400, a journal failure → 500.
-func writeChargeError(w http.ResponseWriter, t *Tenant, err error) {
+func (s *Server) writeChargeError(w http.ResponseWriter, t *Tenant, err error) {
 	switch {
 	case errors.Is(err, funcmech.ErrBudgetExhausted):
 		t.exhausted.Add(1)
-		writeError(w, http.StatusPaymentRequired, codeBudgetExhausted, "tenant %q: %v", t.Name, err)
+		s.writeError(w, http.StatusPaymentRequired, codeBudgetExhausted, "tenant %q: %v", t.Name, err)
 	case errors.Is(err, funcmech.ErrInvalidSpend):
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 	case errors.Is(err, errWALAppend):
-		writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 	default:
-		writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
+		s.writeError(w, http.StatusUnprocessableEntity, codeFitFailed, "%v", err)
 	}
 }
 

@@ -332,10 +332,11 @@ func TestWriteChargeErrorMapping(t *testing.T) {
 		{fmt.Errorf("charge: %w", funcmech.ErrInvalidSpend), http.StatusBadRequest, codeInvalidRequest, 0},
 		{fmt.Errorf("%w: disk gone", errWALAppend), http.StatusInternalServerError, codeInternal, 0},
 	}
+	srv := New(Config{})
 	for _, tc := range cases {
 		tenant := &Tenant{Name: "t", Session: funcmech.NewSession(1)}
 		rec := httptest.NewRecorder()
-		writeChargeError(rec, tenant, tc.err)
+		srv.writeChargeError(rec, tenant, tc.err)
 		if rec.Code != tc.status {
 			t.Errorf("%v: status %d, want %d", tc.err, rec.Code, tc.status)
 		}

@@ -117,6 +117,7 @@ type Log struct {
 	size        int64    // bytes written to the active segment
 	lsn         uint64   // last assigned LSN
 	sealed      []uint64 // first LSNs of sealed segments, ascending
+	appends     uint64   // successful Appends since Open (for metrics)
 	broken      error    // sticky: a torn in-flight write poisons the segment
 }
 
@@ -347,6 +348,7 @@ func (l *Log) Append(ev Event) (uint64, error) {
 		}
 	}
 	l.lsn = ev.LSN
+	l.appends++
 	l.size += int64(len(frame))
 	if l.size >= l.segSize {
 		if err := l.rotateLocked(); err != nil {
@@ -432,6 +434,15 @@ func (l *Log) Segments() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.sealed) + 1
+}
+
+// Appends returns how many events this process has successfully journaled
+// since Open — replayed history is not included, so the counter is a rate
+// signal, not an LSN.
+func (l *Log) Appends() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
 }
 
 // Dir returns the journal directory.

@@ -80,6 +80,21 @@ func WithGovernor(g Governor) Option {
 	return func(c *config) { c.opts.Governor = g }
 }
 
+// Probe receives phase boundaries (kernel, solve, noise) from a fit; see
+// WithProbe.
+type Probe = core.Probe
+
+// WithProbe installs a phase probe on the fit: the mechanism reports when
+// objective accumulation (kernel), minimization (solve), and Laplace
+// perturbation (noise) start and end, so a serving layer can attribute
+// per-request time to spans. The probe observes only phase names and
+// durations — never coefficients or records — and the mechanism core itself
+// never reads a clock; whatever timing the probe does happens on the
+// caller's side. A nil probe is ignored.
+func WithProbe(p Probe) Option {
+	return func(c *config) { c.opts.Probe = p }
+}
+
 // WithSeed makes the mechanism's noise deterministic — for reproduction and
 // tests. Without a seed (or WithRand), a random seed is drawn. For models
 // that are bit-identical across machines, combine with WithParallelism(1);

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench_check.sh — regression gate over the committed BENCH_pr7.json: run a
+# bench_check.sh — regression gate over the committed BENCH_pr8.json: run a
 # fresh benchmark pass (via bench_report.sh into a scratch file), show a
 # benchstat comparison when the tool is available, and fail if
 # BenchmarkObjective or BenchmarkIngest regressed by more than the threshold
@@ -13,7 +13,7 @@
 #               file's machine).
 #
 # Environment:
-#   BENCH_BASE       committed results file (default BENCH_pr7.json)
+#   BENCH_BASE       committed results file (default BENCH_pr8.json)
 #   BENCH_TOLERANCE  fractional ns/op regression allowed (default 0.10)
 #   BENCH_COUNT      repetitions for the fresh run (default 5)
 #   BENCH_FRESH      an already-generated bench_report.sh JSON to gate on,
@@ -25,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 command -v jq >/dev/null || { echo "bench-check: jq is required" >&2; exit 1; }
 
-BASE="${BENCH_BASE:-BENCH_pr7.json}"
+BASE="${BENCH_BASE:-BENCH_pr8.json}"
 TOL="${BENCH_TOLERANCE:-0.10}"
 [ -f "$BASE" ] || { echo "bench-check: $BASE not found" >&2; exit 1; }
 

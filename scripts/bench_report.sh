@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench_report.sh — run the mechanism's hot-path benchmark suite and emit
-# BENCH_pr7.json at the repo root: the current point of the repo's
+# BENCH_pr8.json at the repo root: the current point of the repo's
 # performance trajectory. The file carries two raw `go test -bench` outputs:
 #
 #   baseline — the pre-PR4 numbers (scalar per-record fold over slice-of-rows
@@ -16,7 +16,7 @@
 #
 # Environment:
 #   BENCH_COUNT   repetitions per benchmark (default 5)
-#   BENCH_OUT     output file (default BENCH_pr7.json at the repo root)
+#   BENCH_OUT     output file (default BENCH_pr8.json at the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 command -v jq >/dev/null || { echo "bench-report: jq is required" >&2; exit 1; }
 
 COUNT="${BENCH_COUNT:-5}"
-OUT="${BENCH_OUT:-BENCH_pr7.json}"
+OUT="${BENCH_OUT:-BENCH_pr8.json}"
 PATTERN='BenchmarkObjective|BenchmarkIngest|BenchmarkColumnarKernel|BenchmarkRefitFromStream'
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -65,7 +65,7 @@ summarize "$WORK/current.txt" > "$WORK/current-summary.json"
 summarize scripts/bench_baseline_pr4.txt > "$WORK/baseline-summary.json"
 
 jq -n \
-  --arg pr "7" \
+  --arg pr "8" \
   --arg commit "$(git rev-parse HEAD 2>/dev/null || echo unknown)" \
   --arg go "$(go version)" \
   --arg cores "$(nproc)" \
@@ -82,7 +82,7 @@ jq -n \
      bench: ("go test -bench <hot paths> -benchmem -run ^$ -count " + $count),
      baseline: {description: "pre-PR4: scalar per-record fold, slice-of-rows storage",
                 summary: $bsum[0], output: $baseline},
-     current:  {description: "PR4 blocked SYRK kernel + flat columnar storage; PR7 adds the fmbin binary ingest path (BenchmarkIngestBinary)",
+     current:  {description: "PR4 blocked SYRK kernel + flat columnar storage; PR7 adds the fmbin binary ingest path (BenchmarkIngestBinary); PR8 threads the observability probe through the hot paths (free when no trace is attached)",
                 summary: $csum[0], output: $current}
    }' > "$OUT"
 

@@ -12,6 +12,11 @@
 #      spec is normative, the Go file is the reference implementation; this
 #      grep is what lets each claim the other can't drift.
 #
+#   3. The OBSERVABILITY.md metrics table (between <!-- metrics:begin --> and
+#      <!-- metrics:end -->) and the fm_* family literals in
+#      internal/serve/metrics.go agree in BOTH directions: every documented
+#      family exists in the code, every family in the code is documented.
+#
 # Run locally or in CI (the docs job); no dependencies beyond POSIX tools.
 set -euo pipefail
 
@@ -75,8 +80,32 @@ done <<EOF
 $rows
 EOF
 
+# --- 3. OBSERVABILITY.md metrics table <-> internal/serve/metrics.go -----
+obsdoc=docs/OBSERVABILITY.md
+obssrc=internal/serve/metrics.go
+sed -n '/<!-- metrics:begin -->/,/<!-- metrics:end -->/p' "$obsdoc" |
+  grep -E '^\| `fm_' | sed -E 's/^\| `([^`]+)`.*/\1/' | sort > "$WORK/doc_metrics"
+grep -oE '"fm_[a-z_]+"' "$obssrc" | tr -d '"' | sort -u > "$WORK/src_metrics"
+if [ ! -s "$WORK/doc_metrics" ]; then
+  echo "check-docs: no metrics table between markers in $obsdoc" >&2
+  fail=1
+fi
+while IFS= read -r name; do
+  if ! grep -qx "$name" "$WORK/src_metrics"; then
+    echo "check-docs: $obsdoc documents $name, but $obssrc does not define it" >&2
+    fail=1
+  fi
+done < "$WORK/doc_metrics"
+while IFS= read -r name; do
+  if ! grep -qx "$name" "$WORK/doc_metrics"; then
+    echo "check-docs: $obssrc defines $name, but $obsdoc has no table row for it" >&2
+    fail=1
+  fi
+done < "$WORK/src_metrics"
+m="$(wc -l < "$WORK/doc_metrics" | tr -d ' ')"
+
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAIL" >&2
   exit 1
 fi
-echo "check-docs: PASS (links resolve; $n spec constants match $src)"
+echo "check-docs: PASS (links resolve; $n spec constants match $src; $m metric families match $obssrc)"

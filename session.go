@@ -63,6 +63,11 @@ func (s *Session) Spent() float64 { return s.budget.Spent() }
 // Total returns the configured lifetime budget.
 func (s *Session) Total() float64 { return s.budget.Total() }
 
+// Snapshot returns (total, spent, remaining) read atomically, so a metrics
+// scrape never observes a torn state where spent + remaining ≠ total because
+// a concurrent charge landed between reads.
+func (s *Session) Snapshot() (total, spent, remaining float64) { return s.budget.Snapshot() }
+
 // Charge computes the true cost of a fit with the given options (Resample
 // doubles it, Lemma 5), debits the accountant, and returns the cost that was
 // debited. It exists for serving layers that must interpose a durability
