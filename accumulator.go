@@ -50,10 +50,13 @@ type Accumulator struct {
 }
 
 // NewAccumulator returns an empty accumulator for the schema. Of the fit
-// options only WithIntercept and WithBinarizeThreshold apply — they shape
-// the per-record fold, so they are fixed for the accumulator's lifetime and
-// must not be passed again at fit time. Without a threshold, logistic
-// coefficients are maintained only while every target is exactly 0 or 1.
+// options only WithIntercept, WithBinarizeThreshold and WithReproducible
+// apply — they shape the per-record fold, so they are fixed for the
+// accumulator's lifetime and must not be passed again at fit time. Without a
+// threshold, logistic coefficients are maintained only while every target is
+// exactly 0 or 1. Under WithReproducible(false) batch folds run on the
+// fast-math tier, so refits agree with the reproducible fold only to the
+// analytic error bound, not bitwise.
 func NewAccumulator(s Schema, opts ...Option) (*Accumulator, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -64,7 +67,7 @@ func NewAccumulator(s Schema, opts ...Option) (*Accumulator, error) {
 		inner.Features = append(inner.Features, dataset.Attribute{Name: interceptName, Min: 0, Max: 1})
 	}
 	d := inner.D()
-	return &Accumulator{
+	a := &Accumulator{
 		schema:    s,
 		intercept: cfg.intercept,
 		threshold: cfg.threshold,
@@ -72,8 +75,15 @@ func NewAccumulator(s Schema, opts ...Option) (*Accumulator, error) {
 		d:         d,
 		linear:    core.NewAccumulator(core.LinearTask{}, d),
 		logistic:  core.NewAccumulator(core.LogisticTask{}, d),
-	}, nil
+	}
+	a.linear.SetFastMath(cfg.opts.FastMath)
+	a.logistic.SetFastMath(cfg.opts.FastMath)
+	return a, nil
 }
+
+// Reproducible reports whether the accumulator folds on the reproducible
+// tier (the default) rather than the fast-math tier.
+func (a *Accumulator) Reproducible() bool { return !a.linear.FastMath() }
 
 // Add folds one raw record into the coefficients. Features are clamped to
 // the schema's public bounds and normalized exactly as the one-shot fit

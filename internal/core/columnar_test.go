@@ -94,14 +94,18 @@ func scalarObjective(task RecordTask, ds *dataset.Dataset) *Accumulator {
 }
 
 // TestBlockKernelBitIdenticalToScalar sweeps (n, d) across every interesting
-// boundary — tile edges (127/128/129), 4-wide unroll remainders, row-pair
-// remainders for odd d, single-record batches — with sparse sign-mixed data,
-// and requires exact bit equality between the blocked kernel and the scalar
-// fold for all three tasks.
+// boundary — tile edges for both the historical 128-row tile (127/128/129)
+// and the adaptive small tiles the v2 kernel picks at wide d (31/32/33 spans
+// the 32-row tile at d=64, 15/16/17 via 127..129 covers the 16-row tile at
+// d=128), 4-wide unroll remainders, row-pair remainders for odd d,
+// single-record batches — with sparse sign-mixed data, and requires exact
+// bit equality between the blocked kernel and the scalar fold for all three
+// tasks. The d sweep covers every d-specialized instantiation (4, 8, 14, 16)
+// plus generic adaptive-tile widths on either side (33, 64).
 func TestBlockKernelBitIdenticalToScalar(t *testing.T) {
 	tasks := []RecordTask{LinearTask{}, LogisticTask{}, RidgeTask{Weight: 0.3}}
-	ns := []int{1, 2, 3, 4, 5, 127, 128, 129, 255, 257, 1000}
-	ds := []int{1, 2, 3, 4, 5, 7, 8, 14}
+	ns := []int{1, 2, 3, 4, 5, 31, 32, 33, 127, 128, 129, 255, 257, 1000}
+	ds := []int{1, 2, 3, 4, 5, 7, 8, 14, 16, 33, 64}
 	for _, task := range tasks {
 		for _, n := range ns {
 			for _, d := range ds {

@@ -14,11 +14,19 @@ import (
 func FuzzAccumulateBlockBitIdentity(f *testing.F) {
 	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
 	f.Add(make([]byte, 200))
+	// Seeds steering d onto each d-specialized kernel instantiation (4, 8,
+	// 14, 16 — data[0] of 3, 7, 13, 15) and onto the generic adaptive-tile
+	// path just past the widest specialization (d=17 via data[0]=16).
+	f.Add(append([]byte{3}, make([]byte, 5*8)...))
+	f.Add(append([]byte{7}, make([]byte, 9*8)...))
+	f.Add(append([]byte{13}, make([]byte, 15*8)...))
+	f.Add(append([]byte{15}, make([]byte, 2*17*8)...))
+	f.Add(append([]byte{16}, make([]byte, 3*18*8)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 1+8 {
 			return
 		}
-		d := 1 + int(data[0])%8
+		d := 1 + int(data[0])%17
 		vals := bytesToFinite(data[1:])
 		n := len(vals) / (d + 1)
 		if n == 0 {

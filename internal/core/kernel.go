@@ -10,9 +10,9 @@ import (
 // is a symmetric rank-k update — BLAS's SYRK — and the kernel borrows its
 // blocking scheme:
 //
-//   - Records are processed in tiles of kernelTile rows, so one tile of flat
-//     row-major storage (kernelTile·d floats) stays cache-resident while the
-//     d(d+1)/2 upper-triangle entries each stream through it.
+//   - Records are processed in tiles of kernelTileRows(d) rows, so one tile
+//     of flat row-major storage stays cache-resident while the d(d+1)/2
+//     upper-triangle entries each stream through it.
 //   - Within a tile the triangle is covered in 2×4 register blocks (two M
 //     rows × four adjacent columns): eight accumulator cells live in
 //     registers for the whole tile — eight independent floating-point add
@@ -31,16 +31,59 @@ import (
 // never interacts. The kernel is therefore bit-for-bit identical to the
 // historical record-by-record sweep; columnar_test.go pins this down.
 //
+// On amd64 with AVX2 the interior register blocks run hand-vectorized
+// (kernel_vec.go / kernel_avx_amd64.s) with the vector lanes spread across
+// cells — the same argument applies, so that path is bit-identical too; this
+// file's scalar loops are the portable fallback and the reference the tests
+// pin everything against.
+//
 // One deliberate deviation: the scalar path skipped a record's row-a updates
 // when x[a] == 0, the kernel does not. The skipped additions are of ±0.0, and
 // an accumulator cell can never hold -0.0 (cells start at +0.0, and IEEE-754
 // round-to-nearest addition only produces -0.0 from two negative-zero
 // operands), so v + ±0.0 == v bitwise and the results agree exactly.
 
-// kernelTile is the record-block size B: 128 rows × d=14 columns × 8 bytes
-// ≈ 14 KiB, comfortably L1-resident, while big enough that the per-tile
-// register spill/reload of the M entries amortizes to noise.
-const kernelTile = 128
+// The record-block size B is chosen per d so one tile of flat row-major
+// storage (B·d·8 bytes) stays within kernelTileBudget. The budget is an L2
+// streaming budget, not an L1 one: each register block's tile pass touches
+// only the few columns it reads (two or three cache lines per record), the
+// hardware stride prefetcher covers the d·8-byte stride, and measurements
+// on the reference machine show a 64 KiB tile beating a 16 KiB one at
+// d=128 — shrinking the tile multiplies the per-tile accumulator
+// spill/reload and call overhead faster than it buys locality. The
+// historical constant kernelTile = 128 was hand-tuned for d=14; the
+// formula keeps exactly that value through d=64 and shrinks the tile only
+// for very wide designs (64 records at d=128) so a tile never outgrows L2.
+const (
+	// kernelTileBudget is the per-tile working-set budget, in bytes.
+	kernelTileBudget = 64 * 1024
+	// kernelTileMax caps the tile so the per-tile α/β fusion pass stays
+	// fine-grained; it is the historical d=14 tuning point.
+	kernelTileMax = 128
+	// kernelTileMin keeps a floor under very wide designs: below 8 records
+	// the per-tile register spill/reload of the M cells stops amortizing.
+	kernelTileMin = 8
+	// kernelVecMinDim is the narrowest d the vector sweep accepts: below it
+	// row pairs form no full 2×4 interior block and the sweep would be pure
+	// scalar with extra call overhead.
+	kernelVecMinDim = 6
+)
+
+// kernelTileRows returns the record-block size for dimensionality d:
+// ⌊kernelTileBudget / (8·d)⌋ clamped to [kernelTileMin, kernelTileMax].
+// Tile boundaries never affect results — every M/α/β cell receives its
+// per-record contributions in record order regardless of where tiles split —
+// so this is purely a cache-shape decision.
+func kernelTileRows(d int) int {
+	rows := kernelTileBudget / (8 * d)
+	if rows > kernelTileMax {
+		rows = kernelTileMax
+	}
+	if rows < kernelTileMin {
+		rows = kernelTileMin
+	}
+	return rows
+}
 
 // BlockTask is a RecordTask whose per-record fold is also available as a
 // blocked kernel over flat row-major storage. All built-in tasks implement
@@ -68,6 +111,36 @@ func syrkTileUpper(m *poly.Quadratic, tile []float64, d int, div8 bool) {
 	}
 	if a < d {
 		syrkRowSingle(tile, d, a, div8, m.M.Row(a))
+	}
+}
+
+// syrkTileDispatch routes one tile's SYRK update: the hand-vectorized AVX2
+// sweep when the CPU supports it and d is wide enough to form 2×4 interior
+// blocks, else the d-specialized kernel when d is one of the compile-time
+// widths (kernel_spec.go), else the generic syrkTileUpper. Every branch
+// preserves the exact per-cell IEEE addition order, so the dispatch is
+// invisible to the bit-identity contract — the same accumulator state is
+// bit-identical across machines with and without AVX2. The switch is on
+// plain int constants — no function values — so the hot path stays
+// allocation-free.
+//
+//fm:noalloc
+func syrkTileDispatch(m *poly.Quadratic, tile []float64, d int, div8 bool) {
+	if kernelHasAVX2 && d >= kernelVecMinDim {
+		syrkTileUpperVec(m, tile, d, div8)
+		return
+	}
+	switch d {
+	case 4:
+		syrkTileUpperSpec[[4]float64](m, tile, div8)
+	case 8:
+		syrkTileUpperSpec[[8]float64](m, tile, div8)
+	case 14:
+		syrkTileUpperSpec[[14]float64](m, tile, div8)
+	case 16:
+		syrkTileUpperSpec[[16]float64](m, tile, div8)
+	default:
+		syrkTileUpper(m, tile, d, div8)
 	}
 }
 
@@ -245,13 +318,14 @@ func (LinearTask) AccumulateBlock(acc *poly.Quadratic, xs []float64, ys []float6
 	n := len(ys)
 	alpha := acc.Alpha
 	beta := acc.Beta
-	for t0 := 0; t0 < n; t0 += kernelTile {
-		t1 := t0 + kernelTile
+	tileRows := kernelTileRows(d)
+	for t0 := 0; t0 < n; t0 += tileRows {
+		t1 := t0 + tileRows
 		if t1 > n {
 			t1 = n
 		}
 		tile := xs[t0*d : t1*d]
-		syrkTileUpper(acc, tile, d, false)
+		syrkTileDispatch(acc, tile, d, false)
 		rem := tile
 		for _, y := range ys[t0:t1] {
 			row := rem[:d]
@@ -274,13 +348,14 @@ func (LinearTask) AccumulateBlock(acc *poly.Quadratic, xs []float64, ys []float6
 func (LogisticTask) AccumulateBlock(acc *poly.Quadratic, xs []float64, ys []float64, d int) {
 	n := len(ys)
 	alpha := acc.Alpha
-	for t0 := 0; t0 < n; t0 += kernelTile {
-		t1 := t0 + kernelTile
+	tileRows := kernelTileRows(d)
+	for t0 := 0; t0 < n; t0 += tileRows {
+		t1 := t0 + tileRows
 		if t1 > n {
 			t1 = n
 		}
 		tile := xs[t0*d : t1*d]
-		syrkTileUpper(acc, tile, d, true)
+		syrkTileDispatch(acc, tile, d, true)
 		rem := tile
 		for _, y := range ys[t0:t1] {
 			row := rem[:d]

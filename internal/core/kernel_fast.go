@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+
+	"funcmech/internal/poly"
+)
+
+// This file is the fast-math tier behind WithReproducible(false): SYRK
+// kernels that trade the bit-identity contract for raw throughput. The tier
+// has two implementations behind one dispatch:
+//
+//   - On CPUs with FMA units, the hand-vectorized VFMADD sweep
+//     (fastTileUpperFMA in kernel_vec.go / kernel_avx_amd64.s): same
+//     traversal and per-cell record order as the reproducible vector
+//     kernel, but every multiply-add fused — one rounding instead of two.
+//   - Portably, the lane fold below: each cell splits across four
+//     independent accumulator lanes (lane l takes records r ≡ l mod 4),
+//     turning the latency-bound serial add chain into four the CPU can
+//     overlap, each lane's multiply-add a fused math.FMA, with the four
+//     lane sums Kahan-reduced into the running cell at end of tile.
+//
+// Either way the result is deterministic for a fixed input on a fixed
+// machine (no data races, no map-order effects) but NOT bit-identical to
+// the exact fold: fusing skips a rounding per product, and lane splitting
+// additionally re-associates the per-cell sum. The deviation is bounded by
+// standard summation analysis: with eps = 2⁻⁵³ the exact fold's error per
+// cell is ≤ n·eps·Σᵣ|x_r[a]·x_r[b]| (to first order), the fused fold's is
+// no worse, and the lane fold's is ≤ (n/4 + lanes + tiles)·eps·Σ|·| —
+// so |fast − exact| ≤ c·n·eps·Σᵣ|x_r[a]·x_r[b]| for a small constant c.
+// kernel_fast_test.go pins that bound across random (n, d) for both
+// case-study tasks.
+//
+// α and β stay on the exact per-record fold: they are O(n·d) and O(n)
+// against the kernel's O(n·d²), so re-associating them buys nothing.
+//
+// The only sanctioned route into these kernels is the Accumulator's tier
+// dispatch under SetFastMath — which itself is reachable only through
+// WithReproducible(false). The reprotier fmlint analyzer machine-checks
+// that no other call site creeps in.
+
+// FastBlockTask is a BlockTask that also provides the relaxed fast-math
+// block fold. All built-in tasks implement it.
+type FastBlockTask interface {
+	BlockTask
+	// AccumulateBlockFast folds len(ys) records like AccumulateBlock, but
+	// only guarantees results within the analytic lane/FMA error bound of
+	// the exact fold — not bit-identical. Callers must be gated behind
+	// WithReproducible(false); see the reprotier analyzer.
+	AccumulateBlockFast(acc *poly.Quadratic, xs []float64, ys []float64, d int)
+}
+
+// kahan4 reduces four lane sums with Kahan compensation, so the final
+// 4-way reduction contributes one rounding, not three uncompensated ones.
+//
+//fm:noalloc
+func kahan4(s0, s1, s2, s3 float64) float64 {
+	sum := s0
+	var comp float64
+	y := s1 - comp
+	t := sum + y
+	comp = (t - sum) - y
+	sum = t
+	y = s2 - comp
+	t = sum + y
+	comp = (t - sum) - y
+	sum = t
+	y = s3 - comp
+	t = sum + y
+	comp = (t - sum) - y
+	sum = t
+	return sum
+}
+
+// fastTileUpper accumulates one tile's Σᵣ xᵣ·xᵣᵀ (scaled by scale) into the
+// upper triangle of M under the relaxed fast-math contract, routing to the
+// hand-vectorized VFMADD sweep (kernel_vec.go) when the CPU has FMA units
+// and to the portable lane/Kahan fold below otherwise.
+//
+//fm:noalloc
+func fastTileUpper(m *poly.Quadratic, tile []float64, d int, scale float64) {
+	if kernelHasFMA && d >= kernelVecMinDim {
+		fastTileUpperFMA(m, tile, d, scale)
+		return
+	}
+	fastTileUpperLanes(m, tile, d, scale)
+}
+
+// fastTileUpperLanes is the portable fast fold: 4-wide record lanes and
+// math.FMA. Cells are covered one M row at a time in 2-column blocks —
+// eight live lane accumulators, which fits the register file — with a
+// round-robin scalar tail for the tile's last len%4 records.
+//
+//fm:noalloc
+func fastTileUpperLanes(m *poly.Quadratic, tile []float64, d int, scale float64) {
+	stride4 := 4 * d
+	for a := 0; a < d; a++ {
+		row := m.M.Row(a)
+		b := a
+		for ; b+2 <= d; b += 2 {
+			var s0, s1, s2, s3, u0, u1, u2, u3 float64
+			rem := tile
+			for len(rem) >= stride4 {
+				p0 := rem[0:d]
+				p1 := rem[d : 2*d]
+				p2 := rem[2*d : 3*d]
+				p3 := rem[3*d : stride4]
+				va0, va1, va2, va3 := p0[a], p1[a], p2[a], p3[a]
+				s0 = math.FMA(va0, p0[b], s0)
+				s1 = math.FMA(va1, p1[b], s1)
+				s2 = math.FMA(va2, p2[b], s2)
+				s3 = math.FMA(va3, p3[b], s3)
+				u0 = math.FMA(va0, p0[b+1], u0)
+				u1 = math.FMA(va1, p1[b+1], u1)
+				u2 = math.FMA(va2, p2[b+1], u2)
+				u3 = math.FMA(va3, p3[b+1], u3)
+				rem = rem[stride4:]
+			}
+			lane := 0
+			for ; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				va := p[a]
+				switch lane & 3 {
+				case 0:
+					s0 = math.FMA(va, p[b], s0)
+					u0 = math.FMA(va, p[b+1], u0)
+				case 1:
+					s1 = math.FMA(va, p[b], s1)
+					u1 = math.FMA(va, p[b+1], u1)
+				case 2:
+					s2 = math.FMA(va, p[b], s2)
+					u2 = math.FMA(va, p[b+1], u2)
+				default:
+					s3 = math.FMA(va, p[b], s3)
+					u3 = math.FMA(va, p[b+1], u3)
+				}
+				lane++
+			}
+			row[b] += scale * kahan4(s0, s1, s2, s3)
+			row[b+1] += scale * kahan4(u0, u1, u2, u3)
+		}
+		if b < d {
+			var s0, s1, s2, s3 float64
+			rem := tile
+			for len(rem) >= stride4 {
+				s0 = math.FMA(rem[a], rem[b], s0)
+				s1 = math.FMA(rem[d+a], rem[d+b], s1)
+				s2 = math.FMA(rem[2*d+a], rem[2*d+b], s2)
+				s3 = math.FMA(rem[3*d+a], rem[3*d+b], s3)
+				rem = rem[stride4:]
+			}
+			lane := 0
+			for ; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				switch lane & 3 {
+				case 0:
+					s0 = math.FMA(p[a], p[b], s0)
+				case 1:
+					s1 = math.FMA(p[a], p[b], s1)
+				case 2:
+					s2 = math.FMA(p[a], p[b], s2)
+				default:
+					s3 = math.FMA(p[a], p[b], s3)
+				}
+				lane++
+			}
+			row[b] += scale * kahan4(s0, s1, s2, s3)
+		}
+	}
+}
+
+// AccumulateBlockFast implements FastBlockTask for LinearTask: the lane/FMA
+// SYRK update on M, with α and β on the exact fused per-tile pass.
+//
+//fm:noalloc
+func (LinearTask) AccumulateBlockFast(acc *poly.Quadratic, xs []float64, ys []float64, d int) {
+	n := len(ys)
+	alpha := acc.Alpha
+	beta := acc.Beta
+	tileRows := kernelTileRows(d)
+	for t0 := 0; t0 < n; t0 += tileRows {
+		t1 := t0 + tileRows
+		if t1 > n {
+			t1 = n
+		}
+		tile := xs[t0*d : t1*d]
+		fastTileUpper(acc, tile, d, 1)
+		rem := tile
+		for _, y := range ys[t0:t1] {
+			row := rem[:d]
+			rem = rem[d:]
+			c := 2 * y
+			for a, va := range row {
+				alpha[a] -= c * va
+			}
+			beta += y * y
+		}
+	}
+	acc.Beta = beta
+}
+
+// AccumulateBlockFast implements FastBlockTask for LogisticTask: the
+// lane/FMA SYRK update scaled by ⅛ at lane reduction (one exact
+// power-of-two scaling per cell per tile instead of one division per
+// record), α on the exact fused pass.
+//
+//fm:noalloc
+func (LogisticTask) AccumulateBlockFast(acc *poly.Quadratic, xs []float64, ys []float64, d int) {
+	n := len(ys)
+	alpha := acc.Alpha
+	tileRows := kernelTileRows(d)
+	for t0 := 0; t0 < n; t0 += tileRows {
+		t1 := t0 + tileRows
+		if t1 > n {
+			t1 = n
+		}
+		tile := xs[t0*d : t1*d]
+		fastTileUpper(acc, tile, d, 0.125)
+		rem := tile
+		for _, y := range ys[t0:t1] {
+			row := rem[:d]
+			rem = rem[d:]
+			c := 0.5 - y
+			for a, va := range row {
+				alpha[a] += c * va
+			}
+		}
+	}
+}
+
+// AccumulateBlockFast implements FastBlockTask for RidgeTask by delegating
+// to LinearTask, exactly like the other folds: the penalty involves no
+// data.
+//
+//fm:noalloc
+func (RidgeTask) AccumulateBlockFast(acc *poly.Quadratic, xs []float64, ys []float64, d int) {
+	LinearTask{}.AccumulateBlockFast(acc, xs, ys, d)
+}

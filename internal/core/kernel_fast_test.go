@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"funcmech/internal/poly"
+)
+
+// TestKernelTileRows pins the adaptive tile formula: rows = B/(8d) for the
+// documented 64 KiB L2 streaming budget, clamped to [8, 128]. The pinned
+// values are part of the bit-identity story — d=14 (the paper's case-study
+// width) must keep the historical 128-row tile, and changing the formula
+// silently re-tiles every generic-path fold.
+func TestKernelTileRows(t *testing.T) {
+	cases := []struct{ d, want int }{
+		{1, 128},  // clamp high: tiny d would fit thousands of rows
+		{4, 128},  // specialized width, but the formula still answers
+		{14, 128}, // historical tile preserved at the case-study width
+		{16, 128}, // clamp high still
+		{17, 128}, // first width past the specializations
+		{33, 128}, // odd generic width, still clamped
+		{64, 128}, // 65536/(8·64) = 128 exactly, boundary of the clamp
+		{65, 126}, // first width that shrinks the tile
+		{100, 81}, // non-power-of-two division
+		{128, 64}, // benchmark sweep width
+		{256, 32}, // a row still far from the budget
+		{1024, 8}, // 65536/(8·1024) = 8, boundary with the clamp
+		{2048, 8}, // clamp low: the budget no longer fits 8 rows
+		{8192, 8}, // clamp low: a single row now outgrows the budget
+	}
+	for _, c := range cases {
+		if got := kernelTileRows(c.d); got != c.want {
+			t.Errorf("kernelTileRows(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// The formula itself, for arbitrary d.
+	for d := 1; d <= 300; d++ {
+		want := kernelTileBudget / (8 * d)
+		if want > kernelTileMax {
+			want = kernelTileMax
+		}
+		if want < kernelTileMin {
+			want = kernelTileMin
+		}
+		if got := kernelTileRows(d); got != want {
+			t.Fatalf("kernelTileRows(%d) = %d, want clamp(B/8d) = %d", d, got, want)
+		}
+	}
+}
+
+// fastEps is the unit roundoff for float64.
+const fastEps = 0x1p-53
+
+// TestFastTierWithinErrorBound is the fast tier's correctness contract: for
+// random (n, d) across tile and lane boundaries, every M cell produced by
+// AccumulateBlockFast lies within the analytic lane/FMA bound
+// c·n·eps·Σᵣ|x_r[a]·x_r[b]| of the exact fold's cell, and the α/β
+// coefficients — which stay on the exact per-record fold — are
+// bit-identical. c = 16 is generous against the derivation in
+// kernel_fast.go (the lane fold's constant is ~n/4 + O(1)); the observed
+// deviation is typically orders of magnitude below the bound thanks to
+// Kahan reduction and FMA, but the test pins the bound, not the luck.
+func TestFastTierWithinErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type fastCase struct {
+		task  FastBlockTask
+		scale float64 // M-cell scale the task applies (1 or ⅛)
+	}
+	tasks := []fastCase{
+		{LinearTask{}, 1},
+		{LogisticTask{}, 0.125},
+		{RidgeTask{Weight: 0.3}, 1},
+	}
+	for round := 0; round < 40; round++ {
+		n := 1 + rng.Intn(700)
+		d := 1 + rng.Intn(40)
+		data := sparseDataset(LinearTask{}, n, d, int64(1000+round))
+		xs := data.FlatRows(0, n)
+		ys := data.Labels()
+
+		// Σᵣ |x_r[a]·x_r[b]| per upper-triangle cell — the bound's
+		// condition-number term.
+		absSum := poly.NewQuadratic(d)
+		for r := 0; r < n; r++ {
+			row := xs[r*d : (r+1)*d]
+			for a := 0; a < d; a++ {
+				ra := absSum.M.Row(a)
+				va := math.Abs(row[a])
+				for b := a; b < d; b++ {
+					ra[b] += va * math.Abs(row[b])
+				}
+			}
+		}
+
+		for _, tc := range tasks {
+			exact := poly.NewQuadratic(d)
+			tc.task.AccumulateBlock(exact, xs, ys, d)
+			fast := poly.NewQuadratic(d)
+			tc.task.AccumulateBlockFast(fast, xs, ys, d)
+
+			if math.Float64bits(exact.Beta) != math.Float64bits(fast.Beta) {
+				t.Fatalf("%s n=%d d=%d: fast tier changed Beta (must stay on the exact fold)",
+					tc.task.(Task).Name(), n, d)
+			}
+			for a := 0; a < d; a++ {
+				if math.Float64bits(exact.Alpha[a]) != math.Float64bits(fast.Alpha[a]) {
+					t.Fatalf("%s n=%d d=%d: fast tier changed Alpha[%d] (must stay on the exact fold)",
+						tc.task.(Task).Name(), n, d, a)
+				}
+				for b := a; b < d; b++ {
+					bound := 16 * float64(n) * fastEps * tc.scale * absSum.M.At(a, b)
+					diff := math.Abs(fast.M.At(a, b) - exact.M.At(a, b))
+					if diff > bound {
+						t.Fatalf("%s n=%d d=%d cell (%d,%d): |fast-exact| = %g exceeds bound %g",
+							tc.task.(Task).Name(), n, d, a, b, diff, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastTierDeterministic: relaxed ≠ nondeterministic. The same input must
+// produce byte-identical fast-tier coefficients on every run — the tier
+// gives up cross-tier bit-identity, never within-tier reproducibility.
+func TestFastTierDeterministic(t *testing.T) {
+	data := sparseDataset(LinearTask{}, 513, 19, 7)
+	xs := data.FlatRows(0, data.N())
+	ys := data.Labels()
+	for _, task := range []FastBlockTask{LinearTask{}, LogisticTask{}} {
+		first := poly.NewQuadratic(19)
+		task.AccumulateBlockFast(first, xs, ys, 19)
+		for rep := 0; rep < 3; rep++ {
+			again := poly.NewQuadratic(19)
+			task.AccumulateBlockFast(again, xs, ys, 19)
+			requireBitIdentical(t, task.(Task).Name(), first, again)
+		}
+	}
+}
+
+// TestAccumulatorFastMathDispatch: the accumulator's tier switch. With
+// SetFastMath(true) the fold matches a direct AccumulateBlockFast; with the
+// default it stays bit-identical to the exact block fold; Clone carries the
+// tier.
+func TestAccumulatorFastMathDispatch(t *testing.T) {
+	data := sparseDataset(LinearTask{}, 300, 9, 11)
+	xs := data.FlatRows(0, data.N())
+	ys := data.Labels()
+
+	fastAcc := NewAccumulator(LinearTask{}, 9)
+	fastAcc.SetFastMath(true)
+	if !fastAcc.FastMath() {
+		t.Fatal("SetFastMath(true) not reflected by FastMath()")
+	}
+	fastAcc.AddFlat(xs, ys)
+	wantFast := poly.NewQuadratic(9)
+	LinearTask{}.AccumulateBlockFast(wantFast, xs, ys, 9)
+	wantFast.MaterializeSymmetric()
+	LinearTask{}.FinalizeObjective(wantFast, len(ys))
+	requireBitIdentical(t, "fast dispatch", wantFast, fastAcc.Quadratic())
+
+	if clone := fastAcc.Clone(); !clone.FastMath() {
+		t.Fatal("Clone dropped the fast-math tier")
+	}
+
+	exactAcc := NewAccumulator(LinearTask{}, 9)
+	exactAcc.AddFlat(xs, ys)
+	wantExact := poly.NewQuadratic(9)
+	LinearTask{}.AccumulateBlock(wantExact, xs, ys, 9)
+	wantExact.MaterializeSymmetric()
+	LinearTask{}.FinalizeObjective(wantExact, len(ys))
+	requireBitIdentical(t, "exact dispatch", wantExact, exactAcc.Quadratic())
+}
+
+// TestFastKernelNoAlloc backs the //fm:noalloc annotations with a runtime
+// check: the fast block fold allocates nothing per call.
+func TestFastKernelNoAlloc(t *testing.T) {
+	data := sparseDataset(LinearTask{}, 200, 14, 3)
+	xs := data.FlatRows(0, data.N())
+	ys := data.Labels()
+	q := poly.NewQuadratic(14)
+	for _, task := range []FastBlockTask{LinearTask{}, LogisticTask{}, RidgeTask{Weight: 0.5}} {
+		allocs := testing.AllocsPerRun(10, func() {
+			task.AccumulateBlockFast(q, xs, ys, 14)
+		})
+		if allocs != 0 {
+			t.Errorf("%s AccumulateBlockFast: %v allocs/op, want 0", task.(Task).Name(), allocs)
+		}
+	}
+}
+
+// TestKernelTierNames pins the tier vocabulary the kernel span attribute and
+// the docs dispatch table share. The reproducible tier names depend on the
+// machine: with AVX2, every d wide enough to form vector blocks reports
+// "vector"; the specialized/generic names cover the portable fallbacks.
+func TestKernelTierNames(t *testing.T) {
+	repro := func(d int, fallback string) string {
+		if kernelHasAVX2 && d >= kernelVecMinDim {
+			return TierVector
+		}
+		return fallback
+	}
+	cases := []struct {
+		d    int
+		fast bool
+		want string
+	}{
+		{4, false, TierSpecialized}, // below kernelVecMinDim on any machine
+		{5, false, TierGeneric},
+		{8, false, repro(8, TierSpecialized)},
+		{14, false, repro(14, TierSpecialized)},
+		{16, false, repro(16, TierSpecialized)},
+		{17, false, repro(17, TierGeneric)},
+		{128, false, repro(128, TierGeneric)},
+		{14, true, TierFast},
+		{128, true, TierFast},
+	}
+	for _, c := range cases {
+		if got := KernelTier(c.d, c.fast); got != c.want {
+			t.Errorf("KernelTier(%d, %v) = %q, want %q", c.d, c.fast, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"funcmech/internal/poly"
+)
+
+// This file is the d-specialized half of the SYRK kernel: one generic body,
+// stenciled by the compiler into a separate instantiation per feature width.
+//
+// The type parameter is an *array value* type ([4]float64, [8]float64, …),
+// never a pointer: Go's GC-shape stenciling unifies all pointer type
+// arguments into a single instantiation, but distinct array lengths have
+// distinct shapes, so each width below compiles to its own function body in
+// which d = len(zero V) is a compile-time constant. That makes every slice
+// stride, loop bound and trip count constant — bounds checks vanish and
+// addressing folds to fixed offsets — without hand-writing four copies of
+// the kernel.
+//
+// The loop structure is *identical* to the generic syrkRowPair (same
+// leading-edge / 2×4 block / tail decomposition, record loop innermost), so
+// every M cell receives its per-record contributions in exactly the same
+// IEEE-754 addition order as both the generic kernel and the scalar
+// AccumulateRecord path. columnar_test.go and the accumulate fuzz target pin
+// the three paths together bitwise at every specialized width.
+
+// specDim enumerates the compile-time specialized kernel widths. All widths
+// are even, so a specialized triangle decomposes entirely into row pairs
+// with no single-row tail. d=4 and d=8 cover small raw designs, d=14 the
+// two case-study datasets, d=16 degree-2 expansions of small inputs.
+// scripts/check_docs.sh keeps the dispatch table in docs/ARCHITECTURE.md in
+// sync with this list.
+type specDim interface {
+	[4]float64 | [8]float64 | [14]float64 | [16]float64
+}
+
+// syrkTileUpperSpec is syrkTileUpper with d fixed at compile time to
+// len(V). Dispatch happens in syrkTileDispatch (kernel.go).
+//
+//fm:noalloc
+func syrkTileUpperSpec[V specDim](m *poly.Quadratic, tile []float64, div8 bool) {
+	var zero V
+	d := len(zero)
+	for a := 0; a+2 <= d; a += 2 {
+		syrkRowPairSpec[V](tile, a, div8, m.M.Row(a), m.M.Row(a+1))
+	}
+}
+
+// syrkRowPairSpec is syrkRowPair with a compile-time d: the same
+// leading-edge cells, 2×4 register blocks and 3/2/1-column tails, in the
+// same order, with the same per-cell addition sequence.
+//
+//fm:noalloc
+func syrkRowPairSpec[V specDim](tile []float64, a int, div8 bool, row0, row1 []float64) {
+	var zero V
+	d := len(zero)
+	e0, e1, e2 := row0[a], row0[a+1], row1[a+1]
+	if div8 {
+		for rem := tile; len(rem) >= d; rem = rem[d:] {
+			p := rem[:d]
+			va, vc := p[a], p[a+1]
+			va8, vc8 := va/8, vc/8
+			e0 += va8 * va
+			e1 += va8 * vc
+			e2 += vc8 * vc
+		}
+	} else {
+		for rem := tile; len(rem) >= d; rem = rem[d:] {
+			p := rem[:d]
+			va, vc := p[a], p[a+1]
+			e0 += va * va
+			e1 += va * vc
+			e2 += vc * vc
+		}
+	}
+	row0[a], row0[a+1], row1[a+1] = e0, e1, e2
+
+	b := a + 2
+	for ; b+4 <= d; b += 4 {
+		s0, s1, s2, s3 := row0[b], row0[b+1], row0[b+2], row0[b+3]
+		u0, u1, u2, u3 := row1[b], row1[b+1], row1[b+2], row1[b+3]
+		if div8 {
+			for rem := tile; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				va8, vc8 := p[a]/8, p[a+1]/8
+				x0, x1, x2, x3 := p[b], p[b+1], p[b+2], p[b+3]
+				s0 += va8 * x0
+				s1 += va8 * x1
+				s2 += va8 * x2
+				s3 += va8 * x3
+				u0 += vc8 * x0
+				u1 += vc8 * x1
+				u2 += vc8 * x2
+				u3 += vc8 * x3
+			}
+		} else {
+			for rem := tile; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				va, vc := p[a], p[a+1]
+				x0, x1, x2, x3 := p[b], p[b+1], p[b+2], p[b+3]
+				s0 += va * x0
+				s1 += va * x1
+				s2 += va * x2
+				s3 += va * x3
+				u0 += vc * x0
+				u1 += vc * x1
+				u2 += vc * x2
+				u3 += vc * x3
+			}
+		}
+		row0[b], row0[b+1], row0[b+2], row0[b+3] = s0, s1, s2, s3
+		row1[b], row1[b+1], row1[b+2], row1[b+3] = u0, u1, u2, u3
+	}
+	switch d - b {
+	case 3:
+		s0, s1, s2 := row0[b], row0[b+1], row0[b+2]
+		u0, u1, u2 := row1[b], row1[b+1], row1[b+2]
+		if div8 {
+			for rem := tile; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				va8, vc8 := p[a]/8, p[a+1]/8
+				x0, x1, x2 := p[b], p[b+1], p[b+2]
+				s0 += va8 * x0
+				s1 += va8 * x1
+				s2 += va8 * x2
+				u0 += vc8 * x0
+				u1 += vc8 * x1
+				u2 += vc8 * x2
+			}
+		} else {
+			for rem := tile; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				va, vc := p[a], p[a+1]
+				x0, x1, x2 := p[b], p[b+1], p[b+2]
+				s0 += va * x0
+				s1 += va * x1
+				s2 += va * x2
+				u0 += vc * x0
+				u1 += vc * x1
+				u2 += vc * x2
+			}
+		}
+		row0[b], row0[b+1], row0[b+2] = s0, s1, s2
+		row1[b], row1[b+1], row1[b+2] = u0, u1, u2
+	case 2:
+		s0, s1 := row0[b], row0[b+1]
+		u0, u1 := row1[b], row1[b+1]
+		if div8 {
+			for rem := tile; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				va8, vc8 := p[a]/8, p[a+1]/8
+				x0, x1 := p[b], p[b+1]
+				s0 += va8 * x0
+				s1 += va8 * x1
+				u0 += vc8 * x0
+				u1 += vc8 * x1
+			}
+		} else {
+			for rem := tile; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				va, vc := p[a], p[a+1]
+				x0, x1 := p[b], p[b+1]
+				s0 += va * x0
+				s1 += va * x1
+				u0 += vc * x0
+				u1 += vc * x1
+			}
+		}
+		row0[b], row0[b+1] = s0, s1
+		row1[b], row1[b+1] = u0, u1
+	case 1:
+		s, u := row0[b], row1[b]
+		if div8 {
+			for rem := tile; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				x := p[b]
+				s += p[a] / 8 * x
+				u += p[a+1] / 8 * x
+			}
+		} else {
+			for rem := tile; len(rem) >= d; rem = rem[d:] {
+				p := rem[:d]
+				x := p[b]
+				s += p[a] * x
+				u += p[a+1] * x
+			}
+		}
+		row0[b], row1[b] = s, u
+	}
+}

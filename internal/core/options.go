@@ -78,6 +78,47 @@ type Probe interface {
 	Phase(name string) func()
 }
 
+// TierProbe is a Probe that additionally receives the compute tier a phase
+// ran under — for the kernel phase, which of the kernel v2 dispatch targets
+// (KernelTier) did the work. Probes that don't care implement only Phase.
+type TierProbe interface {
+	Probe
+	PhaseTier(name, tier string) func()
+}
+
+// Kernel tier names reported through TierProbe and documented in
+// docs/ARCHITECTURE.md's dispatch table (machine-checked by
+// scripts/check_docs.sh).
+const (
+	// TierVector is the hand-vectorized AVX2 reproducible kernel —
+	// bit-identical to the scalar fold (lanes run across cells, not
+	// records); selected on capable amd64 hardware.
+	TierVector = "vector"
+	// TierSpecialized is the compile-time d-specialized reproducible kernel.
+	TierSpecialized = "specialized"
+	// TierGeneric is the adaptive-tile generic reproducible kernel.
+	TierGeneric = "generic"
+	// TierFast is the fused/lane kernel behind WithReproducible(false).
+	TierFast = "fast"
+)
+
+// KernelTier names the kernel the accumulation dispatch selects for
+// dimensionality d under the given fast-math setting, on this machine
+// (the vector tier depends on CPU features).
+func KernelTier(d int, fastMath bool) string {
+	if fastMath {
+		return TierFast
+	}
+	if kernelHasAVX2 && d >= kernelVecMinDim {
+		return TierVector
+	}
+	switch d {
+	case 4, 8, 14, 16:
+		return TierSpecialized
+	}
+	return TierGeneric
+}
+
 // noopPhase is the shared phase-end func used when no Probe is installed, so
 // the hooks cost a nil check and no allocation on the hot path.
 var noopPhase = func() {}
@@ -86,6 +127,18 @@ var noopPhase = func() {}
 func startPhase(p Probe, name string) func() {
 	if p == nil {
 		return noopPhase
+	}
+	return p.Phase(name)
+}
+
+// startPhaseTier begins a named phase carrying a tier attribute when the
+// probe understands tiers, degrading to a plain phase otherwise.
+func startPhaseTier(p Probe, name, tier string) func() {
+	if p == nil {
+		return noopPhase
+	}
+	if tp, ok := p.(TierProbe); ok {
+		return tp.PhaseTier(name, tier)
 	}
 	return p.Phase(name)
 }
@@ -116,6 +169,14 @@ type Options struct {
 	// a clock. Nil means no instrumentation and no overhead beyond a nil
 	// check.
 	Probe Probe
+	// FastMath selects the relaxed fast-math accumulation tier
+	// (kernel_fast.go): results within the analytic lane/FMA error bound of
+	// the exact fold, not bit-identical to it. The zero value keeps the
+	// reproducible tier, so the paper configuration stays the default; the
+	// public surface exposes this as WithReproducible(!FastMath). Privacy
+	// calibration is indifferent to the tier — noise is drawn after
+	// accumulation either way.
+	FastMath bool
 }
 
 func (o Options) withDefaults() Options {

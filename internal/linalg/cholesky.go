@@ -22,32 +22,119 @@ type CholeskyDecomposition struct {
 	n int
 }
 
+// cholBlockMin is the order below which factorization stays on the
+// unblocked left-looking loop. That loop's exact subtraction order is the
+// historical one, so every small-d refit (the case-study dimensionalities)
+// remains bit-for-bit unchanged; the blocked path's batched panel updates
+// round differently and only engage where cache behavior, not history,
+// dominates.
+const cholBlockMin = 64
+
+// cholBlock is the panel width of the blocked right-looking factorization:
+// 32 columns × 8 bytes = 256 bytes of panel per row, so a row's panel
+// segment plus the trailing row segment it updates stay within one L1
+// fill even at d in the hundreds.
+const cholBlock = 32
+
 // Cholesky factors the symmetric positive definite matrix a. Only the lower
 // triangle of a is read. It returns ErrNotPositiveDefinite when a pivot is
 // not strictly positive.
+//
+// Orders below cholBlockMin use an unblocked left-looking loop whose
+// per-entry IEEE operation order matches the historical implementation
+// exactly; larger orders use a cache-blocked right-looking factorization
+// (panel factor, panel triangular solve, row-dot trailing update) that
+// keeps the O(d³) work on contiguous row segments.
 func Cholesky(a *Matrix) (*CholeskyDecomposition, error) {
 	if a.Rows() != a.Cols() {
 		panic(fmt.Sprintf("linalg: Cholesky on non-square %d×%d matrix", a.Rows(), a.Cols()))
 	}
+	if a.Rows() >= cholBlockMin {
+		return choleskyBlocked(a)
+	}
+	return choleskyUnblocked(a)
+}
+
+// choleskyUnblocked is the historical left-looking factorization, on row
+// slices instead of At/Set but with the identical operation order, so it is
+// bit-for-bit the same factor.
+func choleskyUnblocked(a *Matrix) (*CholeskyDecomposition, error) {
 	n := a.Rows()
 	l := NewMatrix(n, n)
 	for j := 0; j < n; j++ {
+		lj := l.Row(j)
 		d := a.At(j, j)
-		for k := 0; k < j; k++ {
-			ljk := l.At(j, k)
+		for _, ljk := range lj[:j] {
 			d -= ljk * ljk
 		}
 		if d <= 0 || math.IsNaN(d) {
 			return nil, ErrNotPositiveDefinite
 		}
 		diag := math.Sqrt(d)
-		l.Set(j, j, diag)
+		lj[j] = diag
 		for i := j + 1; i < n; i++ {
+			li := l.Row(i)
 			s := a.At(i, j)
 			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
+				s -= li[k] * lj[k]
 			}
-			l.Set(i, j, s/diag)
+			li[j] = s / diag
+		}
+	}
+	return &CholeskyDecomposition{l: l, n: n}, nil
+}
+
+// choleskyBlocked is the right-looking blocked factorization. Per panel of
+// cholBlock columns: factor the diagonal block (left-looking within the
+// panel), triangular-solve the rows below it, then apply the rank-cholBlock
+// trailing update as contiguous row dots. The trailing update batches what
+// the unblocked loop subtracts one column at a time, so the rounding —
+// while deterministic — differs from the unblocked path; Cholesky only
+// routes here above cholBlockMin.
+func choleskyBlocked(a *Matrix) (*CholeskyDecomposition, error) {
+	n := a.Rows()
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(l.Row(i)[:i+1], a.Row(i)[:i+1])
+	}
+	for k := 0; k < n; k += cholBlock {
+		kb := cholBlock
+		if k+kb > n {
+			kb = n - k
+		}
+		// Factor the kb×kb diagonal block in place; previous panels'
+		// contributions were already subtracted by earlier trailing updates,
+		// so only columns within the panel participate.
+		for j := k; j < k+kb; j++ {
+			lj := l.Row(j)
+			d := lj[j] - Dot(lj[k:j], lj[k:j])
+			if d <= 0 || math.IsNaN(d) {
+				return nil, ErrNotPositiveDefinite
+			}
+			diag := math.Sqrt(d)
+			lj[j] = diag
+			for i := j + 1; i < k+kb; i++ {
+				li := l.Row(i)
+				li[j] = (li[j] - Dot(li[k:j], lj[k:j])) / diag
+			}
+		}
+		// Triangular solve: rows below the panel against the factored
+		// diagonal block, L[i][k:k+kb] · Ldiagᵀ⁻¹ row by row.
+		for i := k + kb; i < n; i++ {
+			li := l.Row(i)
+			for j := k; j < k+kb; j++ {
+				lj := l.Row(j)
+				li[j] = (li[j] - Dot(li[k:j], lj[k:j])) / lj[j]
+			}
+		}
+		// Trailing update: subtract the rank-kb outer product from the
+		// remaining lower triangle, one contiguous row dot per entry.
+		for i := k + kb; i < n; i++ {
+			li := l.Row(i)
+			panel := li[k : k+kb]
+			for j := k + kb; j <= i; j++ {
+				li[j] -= Dot(panel, l.Row(j)[k:k+kb])
+			}
 		}
 	}
 	return &CholeskyDecomposition{l: l, n: n}, nil
@@ -58,28 +145,40 @@ func (c *CholeskyDecomposition) L() *Matrix { return c.l.Clone() }
 
 // Solve returns x with A·x = b using forward/back substitution.
 func (c *CholeskyDecomposition) Solve(b []float64) []float64 {
-	if len(b) != c.n {
-		panic(fmt.Sprintf("linalg: Cholesky solve dimension mismatch %d vs %d", len(b), c.n))
+	return c.SolveInto(make([]float64, c.n), b)
+}
+
+// SolveInto solves A·x = b into the caller-provided dst (len n) and returns
+// dst, allocating nothing: the forward substitution writes y into dst and
+// the back substitution then runs in place. dst[i] is only overwritten
+// after b[i] is consumed and y[i] after it is consumed, so dst == b is
+// allowed; the results are bit-identical to the historical two-buffer
+// implementation either way.
+//
+//fm:noalloc
+func (c *CholeskyDecomposition) SolveInto(dst, b []float64) []float64 {
+	if len(b) != c.n || len(dst) != c.n {
+		panic(fmt.Sprintf("linalg: Cholesky solve dimension mismatch dst=%d b=%d vs %d", len(dst), len(b), c.n))
 	}
-	// Forward: L·y = b.
-	y := make([]float64, c.n)
+	// Forward: L·y = b, y materialized in dst.
 	for i := 0; i < c.n; i++ {
+		li := c.l.Row(i)
 		s := b[i]
 		for k := 0; k < i; k++ {
-			s -= c.l.At(i, k) * y[k]
+			s -= li[k] * dst[k]
 		}
-		y[i] = s / c.l.At(i, i)
+		dst[i] = s / li[i]
 	}
-	// Back: Lᵀ·x = y.
-	x := make([]float64, c.n)
+	// Back: Lᵀ·x = y, in place — dst[k] for k > i already holds x[k].
+	data := c.l.data
 	for i := c.n - 1; i >= 0; i-- {
-		s := y[i]
+		s := dst[i]
 		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * x[k]
+			s -= data[k*c.n+i] * dst[k]
 		}
-		x[i] = s / c.l.At(i, i)
+		dst[i] = s / data[i*c.n+i]
 	}
-	return x
+	return dst
 }
 
 // LogDet returns log(det A) = 2·Σ log L[i][i].

@@ -1,0 +1,152 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// matricesBitEqual compares every entry with Float64bits.
+func matricesBitEqual(a, b *Matrix) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if math.Float64bits(a.At(i, j)) != math.Float64bits(b.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCholeskyDispatchThreshold pins where the blocked path engages: below
+// cholBlockMin the public Cholesky is bit-identical to the unblocked
+// left-looking loop (the historical factor every small-d reproducibility
+// guarantee was issued against); at and above it, to the blocked
+// factorization.
+func TestCholeskyDispatchThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{cholBlockMin - 1, cholBlockMin, cholBlockMin + 1} {
+		a := randomSPD(rng, n)
+		got, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := choleskyUnblocked(a)
+		if err != nil {
+			t.Fatalf("n=%d unblocked: %v", n, err)
+		}
+		if n >= cholBlockMin {
+			want, err = choleskyBlocked(a)
+			if err != nil {
+				t.Fatalf("n=%d blocked: %v", n, err)
+			}
+		}
+		if !matricesBitEqual(got.l, want.l) {
+			t.Fatalf("n=%d: Cholesky did not dispatch to the expected path", n)
+		}
+	}
+}
+
+// TestCholeskyBlockedAgreesWithUnblocked: the blocked factorization rounds
+// differently but must agree with the unblocked factor to numerical
+// tolerance, and reconstruct A, across panel boundaries (n spanning
+// multiples and remainders of cholBlock) — including n below cholBlockMin,
+// where the blocked path is never dispatched but must still be correct.
+func TestCholeskyBlockedAgreesWithUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{5, 31, 32, 33, 64, 65, 96, 127, 130} {
+		a := randomSPD(rng, n)
+		ub, err := choleskyUnblocked(a)
+		if err != nil {
+			t.Fatalf("n=%d unblocked: %v", n, err)
+		}
+		bl, err := choleskyBlocked(a)
+		if err != nil {
+			t.Fatalf("n=%d blocked: %v", n, err)
+		}
+		scale := math.Max(1, a.MaxAbs())
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				du, db := ub.l.At(i, j), bl.l.At(i, j)
+				if math.Abs(du-db) > 1e-9*scale {
+					t.Fatalf("n=%d L[%d,%d]: unblocked %g vs blocked %g", n, i, j, du, db)
+				}
+			}
+		}
+		l := bl.L()
+		if !l.Mul(l.T()).EqualApproxMat(a, 1e-8*scale) {
+			t.Fatalf("n=%d: blocked L·Lᵀ does not reconstruct A", n)
+		}
+	}
+}
+
+// TestCholeskyBlockedRejectsIndefinite: the blocked path reports
+// ErrNotPositiveDefinite, not garbage, when a trailing update drives a pivot
+// non-positive.
+func TestCholeskyBlockedRejectsIndefinite(t *testing.T) {
+	n := cholBlockMin + 5
+	a := Identity(n)
+	a.Set(n-1, n-1, -1) // indefinite in the last panel
+	if _, err := choleskyBlocked(a); err == nil {
+		t.Fatal("blocked factorization accepted an indefinite matrix")
+	}
+}
+
+// TestSolveIntoMatchesSolve: SolveInto is the allocation-free core of Solve —
+// same bits, including when dst aliases b.
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 7, 14, 63, 64, 100} {
+		a := randomSPD(rng, n)
+		c, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := c.Solve(b)
+
+		dst := make([]float64, n)
+		got := c.SolveInto(dst, b)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("n=%d x[%d]: Solve %g vs SolveInto %g", n, i, want[i], got[i])
+			}
+		}
+
+		// Aliased: solve in place over a copy of b.
+		alias := append([]float64(nil), b...)
+		c.SolveInto(alias, alias)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(alias[i]) {
+				t.Fatalf("n=%d x[%d]: aliased SolveInto diverged: %g vs %g", n, i, want[i], alias[i])
+			}
+		}
+	}
+}
+
+// TestSolveIntoNoAlloc backs the //fm:noalloc annotation at runtime.
+func TestSolveIntoNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 32
+	c, err := Cholesky(randomSPD(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, n)
+	allocs := testing.AllocsPerRun(10, func() {
+		c.SolveInto(dst, b)
+	})
+	if allocs != 0 {
+		t.Errorf("SolveInto: %v allocs/op, want 0", allocs)
+	}
+}

@@ -18,6 +18,9 @@
 //	                                  journal first (chargebeforenoise)
 //	//fm:noalloc                      marks a hot function that must stay
 //	                                  allocation-free (noalloc)
+//	//fmlint:fastmath-dispatch        marks the audited tier-dispatch site
+//	                                  allowed to invoke the fast-math
+//	                                  kernels (reprotier)
 //	//fmlint:ignore <analyzer> <why>  suppresses one finding, on this line
 //	                                  or the next; the justification is
 //	                                  mandatory
@@ -40,6 +43,7 @@ func Suite() []*analysis.Analyzer {
 		NakedRand,
 		NoAlloc,
 		CleanLog,
+		ReproTier,
 	}
 }
 

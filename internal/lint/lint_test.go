@@ -36,6 +36,10 @@ func TestCleanLog(t *testing.T) {
 	analysis.RunTest(t, "testdata", lint.CleanLog, "cleanlog/serve")
 }
 
+func TestReproTier(t *testing.T) {
+	analysis.RunTest(t, "testdata", lint.ReproTier, "reprotier/core")
+}
+
 // TestSuiteOnCleanPackage runs the whole suite over a trivial conforming
 // package and expects silence.
 func TestSuiteOnCleanPackage(t *testing.T) {

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"funcmech/internal/lint/analysis"
+)
+
+// ReproTier patrols the reproducibility contract around the fast-math
+// compute tier. Every bit-identity guarantee this repository makes —
+// refit-equals-one-shot, snapshot/restore round-trips, binary-ingest
+// equivalence — rests on the default accumulation kernels preserving the
+// exact per-cell IEEE addition order. The fast-tier kernels
+// (AccumulateBlockFast, the fastTile* folds and their fastBlock* assembly
+// blocks) deliberately break that order for speed, so they may be reached
+// only through the accumulator's tier
+// dispatch, which is itself gated on WithReproducible(false): a direct call
+// anywhere else silently downgrades results that callers are entitled to
+// assume bit-reproducible.
+//
+// A function may call into the fast tier only when it is part of the tier
+// itself (its name is AccumulateBlockFast or starts with fastTile or
+// fastBlock — the tasks delegate among themselves and the tile folds drive
+// the assembly blocks) or when it carries the
+// //fmlint:fastmath-dispatch directive marking it as an audited dispatch
+// site. Anything else is flagged; the standard //fmlint:ignore reprotier
+// escape hatch applies, justification mandatory.
+var ReproTier = &analysis.Analyzer{
+	Name: "reprotier",
+	Doc:  "fast-math tier kernels may only be reached through the WithReproducible(false) dispatch; direct calls break the bit-identity contract",
+	Run:  runReproTier,
+}
+
+// fastTierCallee reports whether a callee name belongs to the fast-math
+// tier's entry points. Matching is by name: the kernels are unexported, so
+// cross-package reachability is only through the AccumulateBlockFast
+// interface method, which resolves by name for both concrete and interface
+// calls.
+func fastTierCallee(name string) bool {
+	return name == "AccumulateBlockFast" ||
+		strings.HasPrefix(name, "fastTile") ||
+		strings.HasPrefix(name, "fastBlock")
+}
+
+// fastTierFunc reports whether the enclosing function is itself part of the
+// fast tier (tier members may delegate to each other, e.g. RidgeTask to
+// LinearTask).
+func fastTierFunc(decl *ast.FuncDecl) bool {
+	return fastTierCallee(decl.Name.Name)
+}
+
+// fastmathDispatchDirective marks an audited tier-dispatch site.
+const fastmathDispatchDirective = "//fmlint:fastmath-dispatch"
+
+func runReproTier(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fastTierFunc(fd) || hasDirective(fd.Doc, fastmathDispatchDirective) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(info, call)
+				if fn == nil || !fastTierCallee(fn.Name()) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"call to fast-tier kernel %s outside the WithReproducible(false) dispatch; route through the accumulator tier dispatch or annotate an audited site with %s",
+					fn.Name(), fastmathDispatchDirective)
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Package core exercises reprotier: the fast-math tier kernels
+// (AccumulateBlockFast, fastTile*, fastBlock*) may only be reached through
+// the audited WithReproducible(false) dispatch site or from within the tier
+// itself.
+package core
+
+// Quadratic stands in for the accumulated objective coefficients.
+type Quadratic struct {
+	M []float64
+}
+
+// Task stands in for a block task with both compute tiers.
+type Task struct{}
+
+// fastBlock2x8FMA stands in for a fused assembly block kernel.
+func fastBlock2x8FMA(tile []float64, rows int) {
+	_ = tile
+	_ = rows
+}
+
+// fastTileUpper is a tier-internal lane kernel — tier members may call each
+// other freely, including the assembly blocks.
+func fastTileUpper(m *Quadratic, tile []float64, d int) {
+	_ = m
+	fastBlock2x8FMA(tile, d)
+}
+
+// AccumulateBlockFast is the tier's entry point; calling the lane kernel
+// from here is the tier talking to itself — allowed.
+func (Task) AccumulateBlockFast(m *Quadratic, xs []float64, d int) {
+	fastTileUpper(m, xs, d)
+}
+
+// RidgeTask delegates its fast path to Task — allowed: the caller is itself
+// named AccumulateBlockFast.
+type RidgeTask struct{ base Task }
+
+func (r RidgeTask) AccumulateBlockFast(m *Quadratic, xs []float64, d int) {
+	r.base.AccumulateBlockFast(m, xs, d)
+}
+
+// accumulateBlock is the sanctioned dispatch site, marked with the audited
+// directive.
+//
+//fmlint:fastmath-dispatch reachable only behind WithReproducible(false)
+func accumulateBlock(t Task, m *Quadratic, xs []float64, d int, fast bool) {
+	if fast {
+		t.AccumulateBlockFast(m, xs, d)
+		return
+	}
+	_ = xs
+}
+
+// Exact is an ordinary reproducible-path function — no tier calls, silent.
+func Exact(t Task, m *Quadratic, xs []float64, d int) {
+	accumulateBlock(t, m, xs, d, false)
+}
+
+// SneakFastMethod bypasses the dispatch with a direct method call.
+func SneakFastMethod(t Task, m *Quadratic, xs []float64, d int) {
+	t.AccumulateBlockFast(m, xs, d) // want `call to fast-tier kernel AccumulateBlockFast outside the WithReproducible\(false\) dispatch`
+}
+
+// SneakLaneKernel reaches a lane kernel directly.
+func SneakLaneKernel(m *Quadratic, tile []float64, d int) {
+	fastTileUpper(m, tile, d) // want `call to fast-tier kernel fastTileUpper outside the WithReproducible\(false\) dispatch`
+}
+
+// SneakAsmBlock reaches a fused assembly block directly.
+func SneakAsmBlock(tile []float64, d int) {
+	fastBlock2x8FMA(tile, d) // want `call to fast-tier kernel fastBlock2x8FMA outside the WithReproducible\(false\) dispatch`
+}
+
+// AuditedBench is a sanctioned exception with its justification.
+func AuditedBench(t Task, m *Quadratic, xs []float64, d int) {
+	//fmlint:ignore reprotier fixture proves suppression works; benchmarks may pin the fast kernel directly
+	t.AccumulateBlockFast(m, xs, d)
+}

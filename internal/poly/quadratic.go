@@ -51,6 +51,17 @@ func (q *Quadratic) Clone() *Quadratic {
 	return &Quadratic{M: q.M.Clone(), Alpha: linalg.CloneVec(q.Alpha), Beta: q.Beta}
 }
 
+// MaterializeSymmetric finalizes a quadratic whose M carries only the upper
+// triangle — the form the accumulation kernels maintain — into the full
+// symmetric matrix every downstream consumer (Gradient, Perturb, the
+// Cholesky solve) assumes, and returns q. The mirror is the cache-blocked
+// linalg pass; as a pure copy it is exact, so finalization never perturbs
+// the accumulated coefficients.
+func (q *Quadratic) MaterializeSymmetric() *Quadratic {
+	q.M.MirrorUpper()
+	return q
+}
+
 // AddQuadratic accumulates o into q in place and returns q.
 func (q *Quadratic) AddQuadratic(o *Quadratic) *Quadratic {
 	if o.Dim() != q.Dim() {

@@ -29,7 +29,10 @@ func MinimizeQuadratic(q *poly.Quadratic) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnboundedObjective, err)
 	}
-	w := ch.Solve(linalg.Scale(-1, q.Alpha))
+	// One buffer serves as both right-hand side and solution: SolveInto
+	// supports dst == b, so the solve allocates nothing beyond the −α copy.
+	w := linalg.Scale(-1, q.Alpha)
+	ch.SolveInto(w, w)
 	if !linalg.AllFinite(w) {
 		return nil, fmt.Errorf("%w: non-finite solution", ErrUnboundedObjective)
 	}

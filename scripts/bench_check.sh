@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench_check.sh — regression gate over the committed BENCH_pr8.json: run a
+# bench_check.sh — regression gate over the committed BENCH_pr9.json: run a
 # fresh benchmark pass (via bench_report.sh into a scratch file), show a
 # benchstat comparison when the tool is available, and fail if
 # BenchmarkObjective or BenchmarkIngest regressed by more than the threshold
@@ -13,7 +13,7 @@
 #               file's machine).
 #
 # Environment:
-#   BENCH_BASE       committed results file (default BENCH_pr8.json)
+#   BENCH_BASE       committed results file (default BENCH_pr9.json)
 #   BENCH_TOLERANCE  fractional ns/op regression allowed (default 0.10)
 #   BENCH_COUNT      repetitions for the fresh run (default 5)
 #   BENCH_FRESH      an already-generated bench_report.sh JSON to gate on,
@@ -25,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 command -v jq >/dev/null || { echo "bench-check: jq is required" >&2; exit 1; }
 
-BASE="${BENCH_BASE:-BENCH_pr8.json}"
+BASE="${BENCH_BASE:-BENCH_pr9.json}"
 TOL="${BENCH_TOLERANCE:-0.10}"
 [ -f "$BASE" ] || { echo "bench-check: $BASE not found" >&2; exit 1; }
 
@@ -85,6 +85,32 @@ jq -r '.rows[] | "bench-check: \(.name): ns ratio \(.ns_ratio * 100 | round / 10
 if [ "$(jq -r '.fail' "$WORK/verdict.json")" = "true" ]; then
   echo "bench-check: FAIL: regression beyond ${TOL} tolerance:" >&2
   jq -r '(.ns_bad + .alloc_bad)[] | "  " + .name' "$WORK/verdict.json" >&2
+  exit 1
+fi
+
+# Kernel-v2 acceptance ratios, read from the committed file alone: the
+# d-sweep's legacy and repro rows were measured back-to-back on the same
+# machine, so their ratio is meaningful on any runner. The reproducible tier
+# must hold ≥1.5× over the frozen v1 kernel at d=128, and the fast tier must
+# stay ahead of repro at d=128 — the PR-9 acceptance criteria, kept honest
+# against future edits to the committed numbers.
+sweep="BenchmarkObjectiveDSweep/linear/n=8k/d=128"
+read -r repro_ratio fast_ratio <<EOF2
+$(jq -r --arg s "$sweep" '
+  .current.summary as $c |
+  (($c[$s + "/tier=legacy"].min_ns_per_op // empty) /
+   ($c[$s + "/tier=repro"].min_ns_per_op // empty)) as $rl |
+  (($c[$s + "/tier=repro"].min_ns_per_op // empty) /
+   ($c[$s + "/tier=fast"].min_ns_per_op // empty)) as $rf |
+  "\($rl // "absent") \($rf // "absent")"' "$BASE")
+EOF2
+if [ "$repro_ratio" = "absent" ] || [ "$fast_ratio" = "absent" ]; then
+  echo "bench-check: FAIL: committed $BASE is missing the $sweep tier rows" >&2
+  exit 1
+fi
+echo "bench-check: committed d=128 sweep: repro ${repro_ratio}x over legacy, fast ${fast_ratio}x over repro"
+if ! jq -ne --arg r "$repro_ratio" --arg f "$fast_ratio" '($r|tonumber) >= 1.5 and ($f|tonumber) > 1' >/dev/null; then
+  echo "bench-check: FAIL: committed kernel-v2 ratios below acceptance (need repro >= 1.5x legacy, fast > 1x repro)" >&2
   exit 1
 fi
 echo "bench-check: PASS"

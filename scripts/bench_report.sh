@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # bench_report.sh — run the mechanism's hot-path benchmark suite and emit
-# BENCH_pr8.json at the repo root: the current point of the repo's
+# BENCH_pr9.json at the repo root: the current point of the repo's
 # performance trajectory. The file carries two raw `go test -bench` outputs:
 #
 #   baseline — the pre-PR4 numbers (scalar per-record fold over slice-of-rows
 #              storage), captured on the machine named in its own cpu: line
 #              and checked in as scripts/bench_baseline_pr4.txt;
-#   current  — the suite as of this checkout (blocked SYRK kernel over flat
-#              columnar storage), measured by this run.
+#   current  — the suite as of this checkout (kernel v2: d-specialized and
+#              adaptive-tile reproducible kernels plus the fast-math tier,
+#              with the frozen v1 kernel benched alongside as tier=legacy
+#              in BenchmarkObjectiveDSweep), measured by this run.
 #
 # plus a machine-readable summary of the headline series (ns/op and
 # allocs/op per benchmark, averaged across -count repetitions). CI runs this
@@ -16,7 +18,7 @@
 #
 # Environment:
 #   BENCH_COUNT   repetitions per benchmark (default 5)
-#   BENCH_OUT     output file (default BENCH_pr8.json at the repo root)
+#   BENCH_OUT     output file (default BENCH_pr9.json at the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +26,7 @@ cd "$(dirname "$0")/.."
 command -v jq >/dev/null || { echo "bench-report: jq is required" >&2; exit 1; }
 
 COUNT="${BENCH_COUNT:-5}"
-OUT="${BENCH_OUT:-BENCH_pr8.json}"
+OUT="${BENCH_OUT:-BENCH_pr9.json}"
 PATTERN='BenchmarkObjective|BenchmarkIngest|BenchmarkColumnarKernel|BenchmarkRefitFromStream'
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -65,7 +67,7 @@ summarize "$WORK/current.txt" > "$WORK/current-summary.json"
 summarize scripts/bench_baseline_pr4.txt > "$WORK/baseline-summary.json"
 
 jq -n \
-  --arg pr "8" \
+  --arg pr "9" \
   --arg commit "$(git rev-parse HEAD 2>/dev/null || echo unknown)" \
   --arg go "$(go version)" \
   --arg cores "$(nproc)" \
@@ -82,7 +84,7 @@ jq -n \
      bench: ("go test -bench <hot paths> -benchmem -run ^$ -count " + $count),
      baseline: {description: "pre-PR4: scalar per-record fold, slice-of-rows storage",
                 summary: $bsum[0], output: $baseline},
-     current:  {description: "PR4 blocked SYRK kernel + flat columnar storage; PR7 adds the fmbin binary ingest path (BenchmarkIngestBinary); PR8 threads the observability probe through the hot paths (free when no trace is attached)",
+     current:  {description: "PR4 blocked SYRK kernel + flat columnar storage; PR7 adds the fmbin binary ingest path (BenchmarkIngestBinary); PR8 threads the observability probe through the hot paths (free when no trace is attached); PR9 kernel v2 — d-specialized stencils, adaptive tiles, fast-math tier — swept against the frozen v1 kernel in BenchmarkObjectiveDSweep",
                 summary: $csum[0], output: $current}
    }' > "$OUT"
 

@@ -17,6 +17,12 @@
 #      internal/serve/metrics.go agree in BOTH directions: every documented
 #      family exists in the code, every family in the code is documented.
 #
+#   4. The ARCHITECTURE.md compute-tiers table (between <!-- tiers:begin -->
+#      and <!-- tiers:end -->) agrees with internal/core in BOTH directions:
+#      the tier names match the Tier* constants in options.go, and the
+#      d-widths listed in the `specialized` row match the [N]float64 stencil
+#      widths in kernel_spec.go.
+#
 # Run locally or in CI (the docs job); no dependencies beyond POSIX tools.
 set -euo pipefail
 
@@ -104,8 +110,45 @@ while IFS= read -r name; do
 done < "$WORK/src_metrics"
 m="$(wc -l < "$WORK/doc_metrics" | tr -d ' ')"
 
+# --- 4. ARCHITECTURE.md compute-tiers table <-> internal/core ------------
+archdoc=docs/ARCHITECTURE.md
+tiersrc=internal/core/options.go
+specsrc=internal/core/kernel_spec.go
+sed -n '/<!-- tiers:begin -->/,/<!-- tiers:end -->/p' "$archdoc" |
+  grep -E '^\| `' | sed -E 's/^\| `([^`]+)`.*/\1/' | sort > "$WORK/doc_tiers"
+grep -oE 'Tier[A-Z][A-Za-z]*[[:space:]]*=[[:space:]]*"[a-z]+"' "$tiersrc" |
+  sed -E 's/.*"([a-z]+)"/\1/' | sort -u > "$WORK/src_tiers"
+if [ ! -s "$WORK/doc_tiers" ]; then
+  echo "check-docs: no compute-tiers table between markers in $archdoc" >&2
+  fail=1
+fi
+while IFS= read -r name; do
+  if ! grep -qx "$name" "$WORK/src_tiers"; then
+    echo "check-docs: $archdoc documents tier $name, but $tiersrc has no Tier constant for it" >&2
+    fail=1
+  fi
+done < "$WORK/doc_tiers"
+while IFS= read -r name; do
+  if ! grep -qx "$name" "$WORK/doc_tiers"; then
+    echo "check-docs: $tiersrc defines tier \"$name\", but $archdoc has no table row for it" >&2
+    fail=1
+  fi
+done < "$WORK/src_tiers"
+# Specialized widths: the backticked numbers in the `specialized` row vs the
+# [N]float64 stencil widths the specDim constraint admits.
+sed -n '/<!-- tiers:begin -->/,/<!-- tiers:end -->/p' "$archdoc" |
+  grep -E '^\| `specialized`' | grep -oE '`[0-9]+`' | tr -d '`' | sort -n > "$WORK/doc_widths"
+grep -oE '\[[0-9]+\]float64' "$specsrc" | grep -oE '\[[0-9]+\]' | tr -d '[]' | sort -un > "$WORK/src_widths"
+if ! cmp -s "$WORK/doc_widths" "$WORK/src_widths"; then
+  echo "check-docs: specialized widths disagree: $archdoc says [$(paste -sd, "$WORK/doc_widths")]," \
+       "$specsrc stencils [$(paste -sd, "$WORK/src_widths")]" >&2
+  fail=1
+fi
+t="$(wc -l < "$WORK/doc_tiers" | tr -d ' ')"
+w="$(wc -l < "$WORK/doc_widths" | tr -d ' ')"
+
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAIL" >&2
   exit 1
 fi
-echo "check-docs: PASS (links resolve; $n spec constants match $src; $m metric families match $obssrc)"
+echo "check-docs: PASS (links resolve; $n spec constants match $src; $m metric families match $obssrc; $t tiers and $w specialized widths match internal/core)"

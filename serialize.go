@@ -131,7 +131,12 @@ type accumulatorEnvelope struct {
 	// d + d(d+1)/2 rows per column ([alpha..., packed upper triangle...]).
 	// When present, Linear and Logistic carry only the record counts and
 	// beta scalars. JSON base64-encodes the bytes.
-	Coeffs        []byte `json:"coeffs,omitempty"`
+	Coeffs []byte `json:"coeffs,omitempty"`
+	// FastMath records the accumulator's compute tier
+	// (WithReproducible(false)); absent in envelopes from before the tier
+	// existed, which decodes to false — the reproducible tier those
+	// accumulators folded on.
+	FastMath      bool   `json:"fast_math,omitempty"`
 	LogisticError string `json:"logistic_error,omitempty"`
 	Version       int    `json:"version"`
 }
@@ -176,6 +181,7 @@ func (a *Accumulator) Save(w io.Writer) error {
 		Linear:    core.AccumulatorState{N: lin.N, Beta: lin.Beta},
 		Logistic:  core.AccumulatorState{N: log.N, Beta: log.Beta},
 		Coeffs:    frame,
+		FastMath:  a.linear.FastMath(),
 		Version:   accumulatorVersion,
 	}
 	if a.logisticErr != nil {
@@ -227,6 +233,8 @@ func LoadAccumulator(r io.Reader) (*Accumulator, error) {
 	if a.logistic, err = core.AccumulatorFromState(core.LogisticTask{}, env.Logistic); err != nil {
 		return nil, fmt.Errorf("funcmech: restoring logistic coefficients: %w", err)
 	}
+	a.linear.SetFastMath(env.FastMath)
+	a.logistic.SetFastMath(env.FastMath)
 	if env.LogisticError != "" {
 		a.logisticErr = errors.New(env.LogisticError)
 	}
