@@ -10,13 +10,29 @@ import (
 	"funcmech/internal/dataset"
 )
 
+// taskFold is one per-record coefficient fold the accumulator maintains —
+// one per fold-defining task spec in the registry (core.FoldSpecs). Tasks
+// that share per-record contributions share a fold: ridge refits from the
+// linear fold because its penalty is data-independent.
+type taskFold struct {
+	key  string          // the fold's registry name
+	rule core.TargetRule // how the raw target becomes this fold's label
+	acc  *core.Accumulator
+
+	// err, once set, poisons the fold: a record arrived whose label could
+	// not be derived under the fold's target rule (or a restored snapshot
+	// predates the task). Other folds continue; refits for this fold fail
+	// with the error.
+	err error
+}
+
 // Accumulator folds raw records into the polynomial coefficients of the
 // regression objectives as they arrive, so a model can later be fitted
 // without ever materializing the records: the functional mechanism's fit
 // step needs only these sums (paper Algorithm 1), and maintaining them is a
-// streaming monoid fold. One accumulator serves linear, ridge and logistic
-// refits over the same ingested records — ridge shares the linear
-// coefficients (its penalty is data-independent), logistic keeps its own.
+// streaming monoid fold. One accumulator maintains a fold per registered
+// task family (linear — shared by ridge — logistic, median, …), so every
+// registered task can be refitted over the same ingested records.
 //
 // Records are validated against the schema and clamped to its public bounds
 // exactly as the one-shot fit paths do, so a fit from an accumulator is
@@ -37,26 +53,21 @@ type Accumulator struct {
 	intercept bool
 	threshold *float64
 
-	nz       *dataset.Normalizer // over the augmented schema
-	d        int                 // augmented dimensionality
-	linear   *core.Accumulator   // LinearTask coefficients; RidgeTask shares them
-	logistic *core.Accumulator   // LogisticTask coefficients
-
-	// logisticErr, once set, marks the logistic coefficients unusable: a
-	// record arrived whose target was not boolean and no binarize threshold
-	// was configured. Linear ingestion continues; logistic refits fail with
-	// this error.
-	logisticErr error
+	nz    *dataset.Normalizer // over the augmented schema
+	d     int                 // augmented dimensionality
+	n     int                 // records folded
+	folds []*taskFold         // registry fold order (sorted by key)
 }
 
-// NewAccumulator returns an empty accumulator for the schema. Of the fit
-// options only WithIntercept, WithBinarizeThreshold and WithReproducible
-// apply — they shape the per-record fold, so they are fixed for the
-// accumulator's lifetime and must not be passed again at fit time. Without a
-// threshold, logistic coefficients are maintained only while every target is
-// exactly 0 or 1. Under WithReproducible(false) batch folds run on the
-// fast-math tier, so refits agree with the reproducible fold only to the
-// analytic error bound, not bitwise.
+// NewAccumulator returns an empty accumulator for the schema, with one fold
+// per registered task family. Of the fit options only WithIntercept,
+// WithBinarizeThreshold and WithReproducible apply — they shape the
+// per-record fold, so they are fixed for the accumulator's lifetime and must
+// not be passed again at fit time. Without a threshold, boolean-target folds
+// are maintained only while every target is exactly 0 or 1. Under
+// WithReproducible(false) batch folds run on the fast-math tier, so refits
+// agree with the reproducible fold only to the analytic error bound, not
+// bitwise.
 func NewAccumulator(s Schema, opts ...Option) (*Accumulator, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -67,31 +78,49 @@ func NewAccumulator(s Schema, opts ...Option) (*Accumulator, error) {
 		inner.Features = append(inner.Features, dataset.Attribute{Name: interceptName, Min: 0, Max: 1})
 	}
 	d := inner.D()
-	a := &Accumulator{
+	specs := core.FoldSpecs()
+	folds := make([]*taskFold, 0, len(specs))
+	for _, spec := range specs {
+		acc := core.NewAccumulator(spec.Task, d)
+		acc.SetFastMath(cfg.opts.FastMath)
+		folds = append(folds, &taskFold{key: spec.Name, rule: spec.Target, acc: acc})
+	}
+	return &Accumulator{
 		schema:    s,
 		intercept: cfg.intercept,
 		threshold: cfg.threshold,
 		nz:        dataset.NewNormalizer(inner),
 		d:         d,
-		linear:    core.NewAccumulator(core.LinearTask{}, d),
-		logistic:  core.NewAccumulator(core.LogisticTask{}, d),
+		folds:     folds,
+	}, nil
+}
+
+// fold returns the fold registered under key, or nil.
+func (a *Accumulator) fold(key string) *taskFold {
+	for _, f := range a.folds {
+		if f.key == key {
+			return f
+		}
 	}
-	a.linear.SetFastMath(cfg.opts.FastMath)
-	a.logistic.SetFastMath(cfg.opts.FastMath)
-	return a, nil
+	return nil
 }
 
 // Reproducible reports whether the accumulator folds on the reproducible
 // tier (the default) rather than the fast-math tier.
-func (a *Accumulator) Reproducible() bool { return !a.linear.FastMath() }
+func (a *Accumulator) Reproducible() bool { return !a.folds[0].acc.FastMath() }
 
-// Add folds one raw record into the coefficients. Features are clamped to
-// the schema's public bounds and normalized exactly as the one-shot fit
-// paths normalize them; the linear target is clamped into its domain, the
-// logistic target is binarized with the accumulator's threshold when one was
-// configured. NaN values are rejected (they would poison the sums
-// irreversibly); infinities clamp to the domain edge like any other
-// out-of-domain value.
+// poisonFold records the first label-derivation failure for a fold.
+func poisonFold(f *taskFold, record int, target float64) {
+	f.err = fmt.Errorf("funcmech: record %d target %v is not boolean and the accumulator has no binarize threshold; %s refits are unavailable", record, target, f.key)
+}
+
+// Add folds one raw record into every fold's coefficients. Features are
+// clamped to the schema's public bounds and normalized exactly as the
+// one-shot fit paths normalize them; normalized-target folds clamp the
+// target into its domain, boolean-target folds binarize it with the
+// accumulator's threshold when one was configured. NaN values are rejected
+// (they would poison the sums irreversibly); infinities clamp to the domain
+// edge like any other out-of-domain value.
 func (a *Accumulator) Add(features []float64, target float64) error {
 	if len(features) != len(a.schema.Features) {
 		return fmt.Errorf("funcmech: record has %d features, schema has %d", len(features), len(a.schema.Features))
@@ -105,20 +134,19 @@ func (a *Accumulator) Add(features []float64, target float64) error {
 		return fmt.Errorf("funcmech: target %q is NaN", a.schema.Target.Name)
 	}
 
-	// Resolve the logistic label before touching any state, so a record is
-	// folded into both objectives or neither.
-	logisticY := target
-	logisticOK := a.logisticErr == nil
-	if logisticOK {
-		switch {
-		case a.threshold != nil:
-			logisticY = 0
-			if target > *a.threshold {
-				logisticY = 1
+	// Resolve boolean labels before touching any state, so a record is
+	// folded into every objective or poisons before folding into any.
+	boolY := target
+	if a.threshold != nil {
+		boolY = 0
+		if target > *a.threshold {
+			boolY = 1
+		}
+	} else if target != 0 && target != 1 {
+		for _, f := range a.folds {
+			if f.rule == core.TargetBoolean && f.err == nil {
+				poisonFold(f, a.n, target)
 			}
-		case target != 0 && target != 1:
-			a.logisticErr = fmt.Errorf("funcmech: record %d target %v is not boolean and the accumulator has no binarize threshold; logistic refits are unavailable", a.linear.N(), target)
-			logisticOK = false
 		}
 	}
 
@@ -126,27 +154,38 @@ func (a *Accumulator) Add(features []float64, target float64) error {
 		features = augmentRow(features)
 	}
 	x := a.nz.NormalizeRow(features)
-	a.linear.AddRecord(x, a.nz.NormalizeLabel(target))
-	if logisticOK {
-		a.logistic.AddRecord(x, logisticY)
+	yl := a.nz.NormalizeLabel(target)
+	for _, f := range a.folds {
+		switch f.rule {
+		case core.TargetBoolean:
+			if f.err == nil {
+				f.acc.AddRecord(x, boolY)
+			}
+		default:
+			f.acc.AddRecord(x, yl)
+		}
 	}
+	a.n++
 	return nil
 }
 
 // flatScratch is the reusable workspace of one AddFlat call: the normalized
-// flat feature block, the two label columns and one augmented-row buffer.
-// Pooling it makes batch ingestion allocation-free per record (and, once the
-// pool is warm, per batch).
+// flat feature block, the shared normalized-label column, one boolean-label
+// column per boolean fold (with its poisoning cut), and one augmented-row
+// buffer. Pooling it makes batch ingestion allocation-free per record (and,
+// once the pool is warm, per batch).
 type flatScratch struct {
-	xs  []float64
-	yl  []float64
-	yg  []float64
-	row []float64
+	xs   []float64
+	yl   []float64
+	yg   []float64 // nb stacked columns of k labels
+	row  []float64
+	cuts []int
+	errs []error
 }
 
 var flatScratchPool = sync.Pool{New: func() any { return new(flatScratch) }}
 
-func (s *flatScratch) ensure(xs, k, row int) {
+func (s *flatScratch) ensure(xs, k, nb, row int) {
 	if cap(s.xs) < xs {
 		s.xs = make([]float64, xs)
 	}
@@ -155,14 +194,23 @@ func (s *flatScratch) ensure(xs, k, row int) {
 		s.yl = make([]float64, k)
 	}
 	s.yl = s.yl[:k]
-	if cap(s.yg) < k {
-		s.yg = make([]float64, k)
+	if cap(s.yg) < nb*k {
+		s.yg = make([]float64, nb*k)
 	}
-	s.yg = s.yg[:k]
+	s.yg = s.yg[:nb*k]
 	if cap(s.row) < row {
 		s.row = make([]float64, row)
 	}
 	s.row = s.row[:row]
+	if cap(s.cuts) < nb {
+		s.cuts = make([]int, nb)
+		s.errs = make([]error, nb)
+	}
+	s.cuts = s.cuts[:nb]
+	s.errs = s.errs[:nb]
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
 }
 
 // AddFlat folds a batch of records given as flat row-major storage — each
@@ -197,33 +245,51 @@ func (a *Accumulator) AddFlat(flat []float64) (int, error) {
 		}
 	}
 
-	// Resolve logistic labels up front: the fold below is grouped by
-	// objective, and a non-boolean target without a threshold poisons the
-	// logistic coefficients from that record on (exactly Add's semantics).
-	kLog := 0
-	var logErr error
-	if a.logisticErr == nil {
-		kLog = k
+	nb := 0
+	for _, f := range a.folds {
+		if f.rule == core.TargetBoolean {
+			nb++
+		}
 	}
 	sc := flatScratchPool.Get().(*flatScratch)
 	defer flatScratchPool.Put(sc)
-	sc.ensure(k*a.d, k, a.d)
-	for i := 0; i < k; i++ {
-		target := flat[(i+1)*w-1]
-		if i < kLog {
-			switch {
-			case a.threshold != nil:
-				sc.yg[i] = 0
-				if target > *a.threshold {
-					sc.yg[i] = 1
+	sc.ensure(k*a.d, k, nb, a.d)
+
+	// Resolve boolean labels up front: the fold below is grouped by
+	// objective, and a non-boolean target without a threshold poisons a
+	// boolean fold from that record on (exactly Add's semantics).
+	bi := 0
+	for _, f := range a.folds {
+		if f.rule != core.TargetBoolean {
+			continue
+		}
+		yg := sc.yg[bi*k : (bi+1)*k]
+		cut := 0
+		if f.err == nil {
+			cut = k
+			for i := 0; i < k; i++ {
+				target := flat[(i+1)*w-1]
+				switch {
+				case a.threshold != nil:
+					yg[i] = 0
+					if target > *a.threshold {
+						yg[i] = 1
+					}
+				case target != 0 && target != 1:
+					sc.errs[bi] = fmt.Errorf("funcmech: record %d target %v is not boolean and the accumulator has no binarize threshold; %s refits are unavailable", a.n+i, target, f.key)
+					cut = i
+				default:
+					yg[i] = target
 				}
-			case target != 0 && target != 1:
-				logErr = fmt.Errorf("funcmech: record %d target %v is not boolean and the accumulator has no binarize threshold; logistic refits are unavailable", a.linear.N()+i, target)
-				kLog = i
-			default:
-				sc.yg[i] = target
+				if sc.errs[bi] != nil {
+					break
+				}
 			}
 		}
+		sc.cuts[bi] = cut
+		bi++
+	}
+	for i := 0; i < k; i++ {
 		features := flat[i*w : i*w+w-1]
 		if a.intercept {
 			copy(sc.row, features)
@@ -231,21 +297,29 @@ func (a *Accumulator) AddFlat(flat []float64) (int, error) {
 			features = sc.row
 		}
 		a.nz.NormalizeRowInto(sc.xs[i*a.d:(i+1)*a.d], features)
-		sc.yl[i] = a.nz.NormalizeLabel(target)
+		sc.yl[i] = a.nz.NormalizeLabel(flat[(i+1)*w-1])
 	}
 
-	a.linear.AddFlat(sc.xs, sc.yl)
-	if kLog > 0 {
-		a.logistic.AddFlat(sc.xs[:kLog*a.d], sc.yg[:kLog])
+	bi = 0
+	for _, f := range a.folds {
+		if f.rule == core.TargetBoolean {
+			if cut := sc.cuts[bi]; cut > 0 {
+				f.acc.AddFlat(sc.xs[:cut*a.d], sc.yg[bi*k:bi*k+cut])
+			}
+			if f.err == nil {
+				f.err = sc.errs[bi]
+			}
+			bi++
+			continue
+		}
+		f.acc.AddFlat(sc.xs, sc.yl)
 	}
-	if a.logisticErr == nil {
-		a.logisticErr = logErr
-	}
+	a.n += k
 	return k, nil
 }
 
 // Len returns the number of records accumulated.
-func (a *Accumulator) Len() int { return a.linear.N() }
+func (a *Accumulator) Len() int { return a.n }
 
 // NumFeatures returns the raw feature dimensionality (without the intercept
 // column).
@@ -261,7 +335,7 @@ func (a *Accumulator) Schema() Schema {
 // Intercept reports whether the accumulator folds an intercept column.
 func (a *Accumulator) Intercept() bool { return a.intercept }
 
-// BinarizeThreshold returns the configured logistic threshold, if any.
+// BinarizeThreshold returns the configured binarize threshold, if any.
 func (a *Accumulator) BinarizeThreshold() (float64, bool) {
 	if a.threshold == nil {
 		return 0, false
@@ -272,8 +346,12 @@ func (a *Accumulator) BinarizeThreshold() (float64, bool) {
 // Clone returns a deep copy sharing no mutable state with a.
 func (a *Accumulator) Clone() *Accumulator {
 	out := *a
-	out.linear = a.linear.Clone()
-	out.logistic = a.logistic.Clone()
+	out.folds = make([]*taskFold, len(a.folds))
+	for i, f := range a.folds {
+		cp := *f
+		cp.acc = f.acc.Clone()
+		out.folds[i] = &cp
+	}
 	return &out
 }
 
@@ -284,11 +362,14 @@ func (a *Accumulator) Merge(o *Accumulator) error {
 	if err := a.compatible(o); err != nil {
 		return err
 	}
-	a.linear.Merge(o.linear)
-	a.logistic.Merge(o.logistic)
-	if a.logisticErr == nil {
-		a.logisticErr = o.logisticErr
+	for i, f := range a.folds {
+		of := o.folds[i]
+		f.acc.Merge(of.acc)
+		if f.err == nil {
+			f.err = of.err
+		}
 	}
+	a.n += o.n
 	return nil
 }
 
@@ -304,6 +385,14 @@ func (a *Accumulator) compatible(o *Accumulator) error {
 	}
 	if !schemasEqual(a.schema, o.schema) {
 		return errors.New("funcmech: merging accumulators with different schemas")
+	}
+	if len(a.folds) != len(o.folds) {
+		return errors.New("funcmech: merging accumulators with different fold sets")
+	}
+	for i, f := range a.folds {
+		if f.key != o.folds[i].key {
+			return errors.New("funcmech: merging accumulators with different fold sets")
+		}
 	}
 	return nil
 }
@@ -351,24 +440,13 @@ func fitCfg(a *Accumulator, opts []Option) (config, error) {
 // WithParallelism and WithGovernor are accepted but have no effect here —
 // there is no record sweep to parallelize.
 func LinearRegressionFromAccumulator(a *Accumulator, epsilon float64, opts ...Option) (*LinearModel, *Report, error) {
-	cfg, err := fitCfg(a, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	if cfg.ridge < 0 {
-		return nil, nil, fmt.Errorf("funcmech: negative ridge weight %v", cfg.ridge)
-	}
-	var task core.RecordTask = core.LinearTask{}
-	if cfg.ridge > 0 {
-		task = core.RidgeTask{Weight: cfg.ridge}
-	}
-	res, err := core.RunFromQuadratic(task, a.linear.QuadraticAs(task), epsilon, cfg.rng, cfg.opts)
+	m, rep, err := FitTaskFromAccumulator(a, core.TaskNameLinear, epsilon, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &LinearModel{
-		weights: res.Weights, nz: a.nz, schema: a.Schema(), intercept: a.intercept,
-	}, reportFrom(res), nil
+		weights: m.weights, nz: m.nz, schema: m.schema, intercept: m.intercept,
+	}, rep, nil
 }
 
 // LogisticRegressionFromAccumulator fits an ε-differentially private
@@ -377,22 +455,12 @@ func LinearRegressionFromAccumulator(a *Accumulator, epsilon float64, opts ...Op
 // fails if any ingested record's target was not boolean and the accumulator
 // had no binarize threshold.
 func LogisticRegressionFromAccumulator(a *Accumulator, epsilon float64, opts ...Option) (*LogisticModel, *Report, error) {
-	cfg, err := fitCfg(a, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	if cfg.ridge != 0 {
-		return nil, nil, errors.New("funcmech: WithRidge applies only to linear regression")
-	}
-	if a.logisticErr != nil {
-		return nil, nil, a.logisticErr
-	}
-	res, err := core.RunFromQuadratic(core.LogisticTask{}, a.logistic.Quadratic(), epsilon, cfg.rng, cfg.opts)
+	m, rep, err := FitTaskFromAccumulator(a, core.TaskNameLogistic, epsilon, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &LogisticModel{
-		weights: res.Weights, nz: a.nz, schema: a.Schema(),
-		threshold: a.threshold, intercept: a.intercept,
-	}, reportFrom(res), nil
+		weights: m.weights, nz: m.nz, schema: m.schema,
+		threshold: m.threshold, intercept: m.intercept,
+	}, rep, nil
 }

@@ -2,15 +2,11 @@ package funcmech_test
 
 import (
 	"bytes"
-	"encoding/base64"
-	"encoding/json"
 	"math"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"funcmech"
-	"funcmech/internal/fmbin"
 )
 
 // flatRecords generates n raw records for incomeSchema() as one flat buffer
@@ -191,101 +187,5 @@ func TestAddFlatAllOrNothing(t *testing.T) {
 	}
 	if !bytes.Equal(before.Bytes(), after.Bytes()) {
 		t.Fatal("rejected batches mutated the accumulator")
-	}
-}
-
-// downgradeEnvelope rewrites a current (version-3, binary-coefficient)
-// envelope into an earlier JSON shape: version 2 (packed mu arrays inline)
-// or version 1 (full d×d matrices). It decodes the fmbin coefficient frame
-// the same way LoadAccumulator does, so the rewritten envelopes carry the
-// exact same coefficient bits.
-func downgradeEnvelope(t *testing.T, current []byte, version int) []byte {
-	t.Helper()
-	var env map[string]any
-	if err := json.Unmarshal(current, &env); err != nil {
-		t.Fatal(err)
-	}
-	coeffs, err := base64.StdEncoding.DecodeString(env["coeffs"].(string))
-	if err != nil {
-		t.Fatalf("coeffs field is not base64: %v", err)
-	}
-	flat, cols, err := fmbin.Decode(coeffs, nil)
-	if err != nil || cols != 2 {
-		t.Fatalf("coeffs field is not a 2-column fmbin frame: cols=%d err=%v", cols, err)
-	}
-	rows := len(flat) / 2
-	d := 0
-	for d*(d+3)/2 != rows { // rows = d + d(d+1)/2
-		d++
-	}
-	for col, key := range []string{"linear", "logistic"} {
-		vals := make([]float64, rows)
-		for r := 0; r < rows; r++ {
-			vals[r] = flat[2*r+col]
-		}
-		alpha, mu := vals[:d], vals[d:]
-		st := env[key].(map[string]any)
-		st["alpha"] = alpha
-		switch version {
-		case 2:
-			st["mu"] = mu
-		case 1:
-			m := make([][]float64, d)
-			off := 0
-			for i := 0; i < d; i++ {
-				m[i] = make([]float64, d)
-				for j := i; j < d; j++ {
-					m[i][j] = mu[off]
-					off++
-				}
-			}
-			st["m"] = m
-		}
-	}
-	delete(env, "coeffs")
-	env["version"] = version
-	out, err := json.Marshal(env)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return out
-}
-
-// TestAccumulatorLegacyEnvelopeDecodes: version-1 (full d×d matrices) and
-// version-2 (packed JSON triangles) envelopes must keep restoring after
-// the binary-coefficient format change, producing accumulators whose fits
-// are bit-identical to the live one's.
-func TestAccumulatorLegacyEnvelopeDecodes(t *testing.T) {
-	acc, err := funcmech.NewAccumulator(incomeSchema())
-	if err != nil {
-		t.Fatal(err)
-	}
-	flat, _ := flatRecords(40, 11)
-	if _, err := acc.AddFlat(flat); err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := acc.Save(&buf); err != nil {
-		t.Fatal(err)
-	}
-	m1, _, err := funcmech.LinearRegressionFromAccumulator(acc, 0.8, funcmech.WithSeed(9))
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	for _, version := range []int{1, 2} {
-		legacy := downgradeEnvelope(t, buf.Bytes(), version)
-		if strings.Contains(string(legacy), `"coeffs"`) {
-			t.Fatal("test setup: binary field survived the legacy rewrite")
-		}
-		back, err := funcmech.LoadAccumulator(bytes.NewReader(legacy))
-		if err != nil {
-			t.Fatalf("legacy v%d envelope failed to load: %v", version, err)
-		}
-		m2, _, err := funcmech.LinearRegressionFromAccumulator(back, 0.8, funcmech.WithSeed(9))
-		if err != nil {
-			t.Fatal(err)
-		}
-		sameWeights(t, "legacy envelope restore", m1.Weights(), m2.Weights())
 	}
 }

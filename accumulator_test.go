@@ -311,7 +311,7 @@ func TestVersionMismatchIsTyped(t *testing.T) {
 	if err := acc.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	tampered := strings.Replace(buf.String(), `"version":3`, `"version":99`, 1)
+	tampered := strings.Replace(buf.String(), `"version":4`, `"version":99`, 1)
 	if !strings.Contains(tampered, `"version":99`) {
 		t.Fatal("test setup: version field not found in envelope")
 	}

@@ -17,13 +17,14 @@ import (
 	"text/tabwriter"
 
 	"funcmech/internal/census"
+	"funcmech/internal/core"
 	"funcmech/internal/experiments"
 )
 
 func main() {
 	var (
 		profile = flag.String("profile", "us", "census profile: us or brazil")
-		task    = flag.String("task", "linear", "regression task: linear or logistic")
+		task    = flag.String("task", core.TaskNameLinear, "registered task name (see funcmech.TaskNames)")
 		dim     = flag.Int("dim", 14, "dimensionality incl. target (5, 8, 11, 14)")
 		eps     = flag.Float64("epsilon", experiments.DefaultEpsilon, "privacy budget ε")
 		records = flag.Int("records", 30000, "dataset cardinality cap")
@@ -43,13 +44,9 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown profile %q", *profile))
 	}
-	kind := experiments.TaskLinear
-	switch strings.ToLower(*task) {
-	case "linear":
-	case "logistic":
-		kind = experiments.TaskLogistic
-	default:
-		fail(fmt.Errorf("unknown task %q", *task))
+	kind, err := experiments.TaskByName(strings.ToLower(*task))
+	if err != nil {
+		fail(err)
 	}
 
 	cfg := experiments.DefaultConfig()

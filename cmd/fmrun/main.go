@@ -13,6 +13,10 @@
 //
 //	fmrun -csv=data.csv -task=logistic -epsilon=0.8 -threshold=35000 \
 //	      -features='age:16:95,hours:0:99' -target='income:0:300000'
+//
+// The task name is resolved through the funcmech task registry, so every
+// registered task — including median regression — is available without any
+// task-specific wiring here.
 package main
 
 import (
@@ -23,18 +27,21 @@ import (
 	"strings"
 
 	"funcmech"
+	"funcmech/internal/core"
 )
 
 func main() {
 	var (
 		csvPath   = flag.String("csv", "", "input CSV with a header row (required)")
-		task      = flag.String("task", "linear", "regression task: linear or logistic")
+		task      = flag.String("task", core.TaskNameLinear, "registered task name (see funcmech.TaskNames)")
 		epsilon   = flag.Float64("epsilon", 0.8, "privacy budget ε")
 		features  = flag.String("features", "", "feature bounds, comma-separated name:min:max (required)")
 		target    = flag.String("target", "", "target bounds, name:min:max (required)")
-		threshold = flag.Float64("threshold", 0, "binarization threshold for logistic targets (0 = target already boolean)")
-		seed      = flag.Int64("seed", 0, "noise seed (0 = random)")
-		exact     = flag.Bool("exact", false, "also fit the non-private baseline for comparison")
+		threshold = flag.Float64("threshold", 0, "binarization threshold for boolean-target tasks (0 = target already boolean)")
+		//fmlint:ignore taskreg names the CLI flag, not a task
+		ridge = flag.Float64("ridge", 0, "ridge penalty weight, for tasks that take one")
+		seed  = flag.Int64("seed", 0, "noise seed (0 = random)")
+		exact = flag.Bool("exact", false, "also fit the non-private least-squares baseline for comparison")
 	)
 	flag.Parse()
 
@@ -58,20 +65,40 @@ func main() {
 	}
 	fmt.Printf("loaded %d records × %d features from %s\n", ds.Len(), ds.NumFeatures(), *csvPath)
 
+	info, ok := funcmech.LookupTask(*task)
+	if !ok {
+		fail(fmt.Errorf("unknown task %q (registered tasks: %s)",
+			*task, strings.Join(funcmech.TaskNames(), ", ")))
+	}
+
 	var opts []funcmech.Option
 	if *seed != 0 {
 		opts = append(opts, funcmech.WithSeed(*seed))
 	}
-
-	switch *task {
-	case "linear":
-		model, report, err := funcmech.LinearRegression(ds, *epsilon, opts...)
-		if err != nil {
-			fail(err)
+	if *threshold != 0 {
+		if !info.Boolean {
+			fail(fmt.Errorf("-threshold applies only to boolean-target tasks; %q trains on a %s target",
+				info.Name, info.TargetRule))
 		}
-		printReport(report)
-		printWeights(schema, model.Weights())
+		opts = append(opts, funcmech.WithBinarizeThreshold(*threshold))
+	}
+	if *ridge != 0 {
+		opts = append(opts, funcmech.WithRidge(*ridge))
+	}
+
+	model, report, err := funcmech.FitTask(ds, *task, *epsilon, opts...)
+	if err != nil {
+		fail(err)
+	}
+	printReport(report)
+	printWeights(schema, model.Weights())
+	if info.Boolean {
+		if rate, err := model.MisclassificationRate(ds); err == nil {
+			fmt.Printf("training misclassification rate: %.4f\n", rate)
+		}
+	} else {
 		fmt.Printf("training MSE (raw units): %.6g\n", model.MSE(ds))
+		fmt.Printf("training MAE (raw units): %.6g\n", model.MAE(ds))
 		if *exact {
 			base, err := funcmech.LinearRegressionExact(ds)
 			if err != nil {
@@ -79,21 +106,6 @@ func main() {
 			}
 			fmt.Printf("non-private MSE (raw units): %.6g\n", base.MSE(ds))
 		}
-	case "logistic":
-		if *threshold != 0 {
-			opts = append(opts, funcmech.WithBinarizeThreshold(*threshold))
-		}
-		model, report, err := funcmech.LogisticRegression(ds, *epsilon, opts...)
-		if err != nil {
-			fail(err)
-		}
-		printReport(report)
-		printWeights(schema, model.Weights())
-		if rate, err := model.MisclassificationRate(ds); err == nil {
-			fmt.Printf("training misclassification rate: %.4f\n", rate)
-		}
-	default:
-		fail(fmt.Errorf("unknown task %q (want linear or logistic)", *task))
 	}
 }
 

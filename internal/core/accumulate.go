@@ -84,6 +84,9 @@ func (a *Accumulator) FastMath() bool { return a.fast }
 // N returns the number of records accumulated so far.
 func (a *Accumulator) N() int { return a.n }
 
+// Task returns the record fold the accumulator maintains.
+func (a *Accumulator) Task() RecordTask { return a.task }
+
 // Dim returns the feature dimensionality d.
 func (a *Accumulator) Dim() int { return a.d }
 

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"funcmech/internal/dataset"
+	"funcmech/internal/poly"
+)
+
+// MedianTask is ε-differentially private median regression through the
+// functional mechanism, following the smoothed-L1 route of Chen, Miao &
+// Tang, "Differentially private median regression" (2020): the absolute
+// deviation |y − xᵀω| that defines median regression is not twice
+// differentiable at zero, so it is smoothed to the pseudo-Huber loss
+//
+//	g(t) = √((y − t)² + μ²),  t = xᵀω,
+//
+// which is C^∞, strictly convex in t, and within μ of |y − t| everywhere.
+// Algorithm 2's order-2 Taylor expansion of g at t = 0 then yields a
+// degree-2 polynomial objective that flows through the exact same
+// perturb-and-minimize release path as the other tasks:
+//
+//	g(0)   = √(y² + μ²)                    → β
+//	g′(0)  = −y / √(y² + μ²)               → α (coefficient of each x_a)
+//	g″(0)  = μ² / (y² + μ²)^{3/2}          → M (·½ on each x_a·x_b)
+//
+// Sensitivity. With ‖x‖₂ ≤ 1 (so |x_a| ≤ 1) and y ∈ [−1, 1] (the same
+// preconditions as LinearTask, enforced by Validate), the per-tuple
+// coefficient L1 norm is bounded term by term:
+//
+//	|g(0)|        ≤ √(1 + μ²)              (one constant monomial)
+//	|g′(0)·x_a|   ≤ 1                      (d degree-1 monomials; |g′| < 1)
+//	|½g″(0)·x_ax_b| ≤ 1/(2μ)               (d² degree-2 monomials; g″ ≤ 1/μ,
+//	                                        maximized at y = 0)
+//
+// so Δ = 2·max_t Σ|λ_φt| = 2(√(1+μ²) + d + d²/(2μ)). The smoothing scale
+// trades approximation bias (g is within μ of the absolute loss) against
+// noise (Δ grows as 1/μ); μ = ½ keeps the degree-2 coefficient bound at 1,
+// matching LinearTask's, so the median release is no noisier per monomial
+// than the linear one.
+//
+// MedianTask is registered in this file's init — entirely through the same
+// extension surface any external task would use; no other package names it.
+type MedianTask struct{}
+
+// medianSmoothing is μ, the pseudo-Huber smoothing scale.
+const medianSmoothing = 0.5
+
+// medianSmoothing2 is μ², the form the Taylor coefficients consume.
+const medianSmoothing2 = medianSmoothing * medianSmoothing
+
+// Name implements Task.
+func (MedianTask) Name() string { return TaskNameMedian }
+
+// Sensitivity returns Δ = 2(√(1+μ²) + d + d²/(2μ)); see the type comment
+// for the derivation.
+func (MedianTask) Sensitivity(d int) float64 {
+	dd := float64(d)
+	return 2 * (math.Sqrt(1+medianSmoothing2) + dd + dd*dd/(2*medianSmoothing))
+}
+
+// Objective builds the truncated pseudo-Huber objective as a dense
+// quadratic.
+func (t MedianTask) Objective(ds *dataset.Dataset) *poly.Quadratic {
+	a := NewAccumulator(t, ds.D())
+	a.AddBatch(ds, dataset.Shard{Lo: 0, Hi: ds.N()})
+	return a.Quadratic()
+}
+
+// AccumulateRecord implements RecordTask with the Taylor coefficients from
+// the type comment: ½g″(0)·xxᵀ on the upper triangle of M, g′(0)·x on α,
+// g(0) on β. Unlike the other tasks the curvature is data-dependent (it
+// shrinks as |y| grows), so β is accumulated per record rather than in
+// FinalizeObjective.
+func (MedianTask) AccumulateRecord(acc *poly.Quadratic, x []float64, y float64) {
+	s := math.Sqrt(y*y + medianSmoothing2)
+	c1 := -y / s
+	h := medianSmoothing2 / (s * s * s) / 2
+	for a, va := range x {
+		if va != 0 {
+			vah := va * h
+			row := acc.M.Row(a)
+			for b := a; b < len(x); b++ {
+				row[b] += vah * x[b]
+			}
+		}
+		acc.Alpha[a] += c1 * va
+	}
+	acc.Beta += s
+}
+
+// FinalizeObjective implements RecordTask; every term of the median
+// objective is per-record.
+func (MedianTask) FinalizeObjective(*poly.Quadratic, int) {}
+
+// AccumulateBlock implements BlockTask as the plain record-order loop: the
+// median curvature rescales every record's outer product individually, so
+// there is no shared-scale SYRK factorization to exploit, and the loop is
+// bit-identical to the scalar fold by construction.
+//
+//fm:noalloc
+func (t MedianTask) AccumulateBlock(acc *poly.Quadratic, xs []float64, ys []float64, d int) {
+	for i, y := range ys {
+		t.AccumulateRecord(acc, xs[i*d:(i+1)*d], y)
+	}
+}
+
+// Validate checks the same geometric preconditions as LinearTask — the
+// sensitivity bound above assumes exactly ‖x‖₂ ≤ 1 and y ∈ [−1, 1].
+func (MedianTask) Validate(ds *dataset.Dataset) error {
+	if ds == nil || ds.N() == 0 {
+		return fmt.Errorf("core: empty dataset")
+	}
+	if n := dataset.MaxRowNorm(ds); n > 1+normTolerance {
+		return fmt.Errorf("core: feature vectors exceed the unit sphere (max ‖x‖₂ = %v); normalize first", n)
+	}
+	for i := 0; i < ds.N(); i++ {
+		if y := ds.Label(i); y < -1-normTolerance || y > 1+normTolerance {
+			return fmt.Errorf("core: median target must lie in [−1,1], record %d has %v", i, y)
+		}
+	}
+	return nil
+}
+
+func init() {
+	MustRegisterTask(TaskSpec{
+		Name:               TaskNameMedian,
+		Degree:             2,
+		Task:               MedianTask{},
+		Target:             TargetNormalized,
+		Release:            ReleaseQuadratic,
+		SensitivityFormula: "2(sqrt(1+mu^2) + d + d^2/(2mu)), mu = 1/2",
+		New: func(p TaskParams) (BlockTask, error) {
+			if p.RidgeWeight != 0 {
+				return nil, fmt.Errorf("core: median regression does not take a ridge weight")
+			}
+			return MedianTask{}, nil
+		},
+	})
+}

@@ -10,9 +10,11 @@ package experiments
 import (
 	"fmt"
 	"hash/fnv"
+	"strings"
 
 	"funcmech/internal/baseline"
 	"funcmech/internal/census"
+	"funcmech/internal/core"
 )
 
 // TaskKind selects the regression family of an experiment.
@@ -32,6 +34,25 @@ func (k TaskKind) String() string {
 		return "Linear"
 	}
 	return "Logistic"
+}
+
+// TaskByName resolves a registered task name to the experiment family that
+// evaluates it. The harness compares the paper's five *methods*, not the
+// library's task surface, so every registered task collapses onto one of two
+// measurement protocols by its target rule: boolean-target tasks score by
+// misclassification rate (TaskLogistic), everything else by MSE over
+// normalized targets (TaskLinear). Unknown names fail with the registered
+// list, so the CLIs never hard-code task vocabularies.
+func TaskByName(name string) (TaskKind, error) {
+	spec, ok := core.LookupTask(name)
+	if !ok {
+		return 0, fmt.Errorf("experiments: unknown task %q (registered tasks: %s)",
+			name, strings.Join(core.TaskNames(), ", "))
+	}
+	if spec.Target == core.TargetBoolean {
+		return TaskLogistic, nil
+	}
+	return TaskLinear, nil
 }
 
 // EpsilonSweep is the privacy-budget grid of Table 2.

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"funcmech/internal/core"
+)
+
+// TestTaskByName: every registered task resolves to a measurement family by
+// its target rule, and unknown names enumerate the registry.
+func TestTaskByName(t *testing.T) {
+	for _, name := range core.TaskNames() {
+		kind, err := TaskByName(name)
+		if err != nil {
+			t.Fatalf("TaskByName(%q): %v", name, err)
+		}
+		spec, _ := core.LookupTask(name)
+		want := TaskLinear
+		if spec.Target == core.TargetBoolean {
+			want = TaskLogistic
+		}
+		if kind != want {
+			t.Errorf("TaskByName(%q) = %v, want %v", name, kind, want)
+		}
+	}
+	_, err := TaskByName("quantile")
+	if err == nil {
+		t.Fatal("TaskByName invented a task")
+	}
+	for _, name := range core.TaskNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered task %q", err, name)
+		}
+	}
+}

@@ -44,6 +44,7 @@ func Suite() []*analysis.Analyzer {
 		NoAlloc,
 		CleanLog,
 		ReproTier,
+		TaskReg,
 	}
 }
 

@@ -40,6 +40,10 @@ func TestReproTier(t *testing.T) {
 	analysis.RunTest(t, "testdata", lint.ReproTier, "reprotier/core")
 }
 
+func TestTaskReg(t *testing.T) {
+	analysis.RunTest(t, "testdata", lint.TaskReg, "taskreg/serve", "taskreg/core")
+}
+
 // TestSuiteOnCleanPackage runs the whole suite over a trivial conforming
 // package and expects silence.
 func TestSuiteOnCleanPackage(t *testing.T) {

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"funcmech/internal/core"
+	"funcmech/internal/lint/analysis"
+)
+
+// TaskReg patrols the task-registry boundary. The registry exists so that
+// adding a regression task touches exactly one package: serve, stream, the
+// CLIs and the serialization layer all resolve tasks by LookupTask and carry
+// names as core.TaskName… constants. A bare "linear" or "median" string
+// literal anywhere else is a latent fork of the task vocabulary — the kind
+// of hard-wired switch the registry refactor removed — so TaskReg flags
+// every string literal that exactly equals a registered task name outside
+// the registry package itself. The forbidden set is read from the live
+// registry, so registering a new task immediately extends the lint net to
+// its name.
+//
+// Exempt: the registry package (import-path element "core", where the names
+// are defined), _test.go files (tests exercise user-facing vocabularies
+// verbatim), and struct tags. CLI flag vocabulary that coincides with a task
+// name can be suppressed with //fmlint:ignore taskreg and a justification.
+var TaskReg = &analysis.Analyzer{
+	Name: "taskreg",
+	Doc:  "task-name string literals belong to the registry package; everywhere else use the core.TaskName… constants or LookupTask",
+	Run:  runTaskReg,
+}
+
+func runTaskReg(pass *analysis.Pass) error {
+	if pkgMatches(pass.Pkg.Path, "core") {
+		return nil
+	}
+	registered := map[string]bool{}
+	for _, n := range core.TaskNames() {
+		registered[n] = true
+	}
+	for _, file := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// Struct tags are BasicLits too; collect them so the walk below can
+		// pass over `json:"..."` tags that happen to contain a task name.
+		tags := map[*ast.BasicLit]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if f, ok := n.(*ast.Field); ok && f.Tag != nil {
+				tags[f.Tag] = true
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || tags[lit] {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil || !registered[s] {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"task name %q spelled as a string literal outside the registry; use the core.TaskName… constant or resolve it through LookupTask", s)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+// Package core stands in for the registry package: task names are its to
+// define, so taskreg stays silent here.
+package core
+
+// TaskNameLinear mirrors the real registry's name constants.
+const TaskNameLinear = "linear"
+
+func names() []string { return []string{"linear", "ridge", "logistic", "median"} }

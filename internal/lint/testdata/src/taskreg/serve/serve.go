@@ -1,0 +1,30 @@
+// Package serve exercises taskreg outside the registry package: exact
+// task-name literals are flagged, longer strings, struct tags and audited
+// CLI vocabulary are not.
+package serve
+
+// Request carries a task name in a struct tag — tags are exempt.
+type Request struct {
+	Kind string `json:"kind" fm:"linear"`
+}
+
+// route is the hard-wired switch the registry refactor forbids.
+func route(name string) int {
+	switch name {
+	case "linear": // want `task name "linear" spelled as a string literal`
+		return 0
+	case "median": // want `task name "median" spelled as a string literal`
+		return 1
+	}
+	return -1
+}
+
+// describe embeds task names inside longer strings — allowed: only a literal
+// that exactly equals a registered name is vocabulary.
+func describe() string { return "linear or logistic regression" }
+
+// flagName coincides with a task name but is audited CLI surface.
+func flagName() string {
+	//fmlint:ignore taskreg names a CLI flag, not a task
+	return "ridge"
+}

@@ -1,0 +1,5 @@
+// Tests exercise user-facing vocabularies verbatim — _test.go files are
+// exempt from taskreg, so these literals produce no findings.
+package serve
+
+func wantsMedian() bool { return route("median") == 1 && describe() != "logistic" }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	"funcmech"
@@ -121,7 +122,23 @@ const (
 	codeBudgetExhausted = "budget_exhausted"
 	codeFitFailed       = "fit_failed"
 	codeInternal        = "internal"
+	// codeUnknownTask is a 400 whose message enumerates the registered task
+	// names — the machine-readable contract for clients probing the task
+	// surface of a build.
+	codeUnknownTask = "unknown_task"
 )
+
+// writeOptionsError maps a fit/refit option-validation error to its wire
+// code: a task-registry miss gets the dedicated unknown_task code, anything
+// else is a plain invalid request. Option validation always runs before the
+// budget charge, so neither outcome consumes ε.
+func (s *Server) writeOptionsError(w http.ResponseWriter, err error) {
+	if errors.Is(err, funcmech.ErrUnknownTask) {
+		s.writeError(w, http.StatusBadRequest, codeUnknownTask, "%v", err)
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -510,24 +527,31 @@ func buildFitCore(postProcess string, lambdaFactor float64, seed *int64, model s
 	if seed != nil {
 		opts = append(opts, funcmech.WithSeed(*seed))
 	}
-	switch model {
-	case "linear":
-		if ridgeWeight != 0 {
-			return nil, fmt.Errorf("ridge_weight requires model \"ridge\"")
-		}
-	case "ridge":
-		if ridgeWeight <= 0 {
-			return nil, fmt.Errorf("model \"ridge\" requires positive ridge_weight, got %v", ridgeWeight)
-		}
+	spec, ok := funcmech.LookupTask(model)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered tasks: %s)",
+			funcmech.ErrUnknownTask, model, strings.Join(funcmech.TaskNames(), ", "))
+	}
+	switch {
+	case spec.NeedsRidgeWeight && ridgeWeight <= 0:
+		return nil, fmt.Errorf("model %q requires positive ridge_weight, got %v", model, ridgeWeight)
+	case !spec.NeedsRidgeWeight && ridgeWeight != 0:
+		return nil, fmt.Errorf("ridge_weight requires a model that takes one (%s)", strings.Join(ridgeModels(), ", "))
+	case spec.NeedsRidgeWeight:
 		opts = append(opts, funcmech.WithRidge(ridgeWeight))
-	case "logistic":
-		if ridgeWeight != 0 {
-			return nil, fmt.Errorf("ridge_weight applies only to model \"ridge\"")
-		}
-	default:
-		return nil, fmt.Errorf("unknown model %q (want linear, ridge or logistic)", model)
 	}
 	return opts, nil
+}
+
+// ridgeModels lists the registered tasks that take a ridge_weight.
+func ridgeModels() []string {
+	var names []string
+	for _, t := range funcmech.Tasks() {
+		if t.NeedsRidgeWeight {
+			names = append(names, t.Name)
+		}
+	}
+	return names
 }
 
 func (o fitOptions) build(model string, gov funcmech.Governor) ([]funcmech.Option, error) {
@@ -546,8 +570,10 @@ func (o fitOptions) build(model string, gov funcmech.Governor) ([]funcmech.Optio
 		opts = append(opts, funcmech.WithReproducible(*o.Reproducible))
 	}
 	if o.BinarizeThreshold != nil {
-		if model != "logistic" {
-			return nil, fmt.Errorf("binarize_threshold applies only to model \"logistic\"")
+		// buildFitCore above already resolved the model, so the lookup here
+		// cannot miss.
+		if spec, _ := funcmech.LookupTask(model); !spec.Boolean {
+			return nil, fmt.Errorf("binarize_threshold applies only to boolean-target models")
 		}
 		opts = append(opts, funcmech.WithBinarizeThreshold(*o.BinarizeThreshold))
 	}
@@ -585,7 +611,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	// wrappers degrade to the bare calls.
 	opts, err := req.Options.build(req.Model, tracedGovernor{g: s.governor, tr: tr})
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		s.writeOptionsError(w, err)
 		return
 	}
 	opts = append(opts, funcmech.WithProbe(obs.TraceProbe{T: tr}))
@@ -617,23 +643,13 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		s.writeChargeError(w, tenant, err)
 		return
 	}
-	var (
-		weights []float64
-		report  *funcmech.Report
-	)
-	switch req.Model {
-	case "linear", "ridge":
-		var m *funcmech.LinearModel
-		m, report, err = funcmech.LinearRegression(ds, req.Epsilon, opts...)
-		if err == nil {
-			weights = m.Weights()
-		}
-	case "logistic":
-		var m *funcmech.LogisticModel
-		m, report, err = funcmech.LogisticRegression(ds, req.Epsilon, opts...)
-		if err == nil {
-			weights = m.Weights()
-		}
+	// The model name was resolved against the task registry during option
+	// validation above, so FitTask cannot miss here — every registered task
+	// is servable through this one call, with no per-task dispatch.
+	var weights []float64
+	m, report, err := funcmech.FitTask(ds, req.Model, req.Epsilon, opts...)
+	if err == nil {
+		weights = m.Weights()
 	}
 	elapsed := time.Since(start)
 	s.stats.RecordFit(elapsed, outcomeFor(err))

@@ -3,11 +3,15 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+
+	"funcmech"
 )
 
 // newTestServer returns an httptest server over a fresh Server plus the
@@ -161,6 +165,8 @@ func TestFitModels(t *testing.T) {
 			Options: fitOptions{RidgeWeight: 0.1, Seed: ptr(int64(1))}},
 		{Tenant: "acme", Dataset: "toy", Model: "logistic", Epsilon: 0.5,
 			Options: fitOptions{BinarizeThreshold: ptr(25.0), Seed: ptr(int64(2))}},
+		{Tenant: "acme", Dataset: "toy", Model: "median", Epsilon: 0.5,
+			Options: fitOptions{Seed: ptr(int64(3))}},
 	}
 	for _, c := range cases {
 		resp := postJSON(t, ts.URL+"/v1/fit", c)
@@ -231,6 +237,44 @@ func TestConcurrentFitsNeverOverspend(t *testing.T) {
 	}
 }
 
+// TestUnknownTaskEnumeratesRegistry: the unknown_task error body must list
+// every registered task name, so clients can discover the task surface of a
+// build from the rejection itself.
+func TestUnknownTaskEnumeratesRegistry(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerRowsDataset(t, ts.URL, "toy", 20)
+	createTenant(t, ts.URL, "acme", 1)
+
+	resp := postJSON(t, ts.URL+"/v1/fit", fitRequest{
+		Tenant: "acme", Dataset: "toy", Model: "quantile", Epsilon: 0.1,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	body := decode[errorResponse](t, resp)
+	if body.Error.Code != codeUnknownTask {
+		t.Fatalf("code %q, want %q", body.Error.Code, codeUnknownTask)
+	}
+	for _, name := range funcmech.TaskNames() {
+		if !strings.Contains(body.Error.Message, name) {
+			t.Errorf("error message %q does not mention registered task %q", body.Error.Message, name)
+		}
+	}
+}
+
+// TestBuildFitCoreUnknownTaskIsTyped: the option-validation layer itself
+// (shared by /v1/fit and refit) classifies a registry miss with the
+// errors.Is-able sentinel that writeOptionsError maps to unknown_task.
+func TestBuildFitCoreUnknownTaskIsTyped(t *testing.T) {
+	_, err := buildFitCore("", 0, nil, "quantile", 0)
+	if !errors.Is(err, funcmech.ErrUnknownTask) {
+		t.Fatalf("err = %v, want ErrUnknownTask", err)
+	}
+	if _, err := buildFitCore("", 0, nil, "median", 0); err != nil {
+		t.Fatalf("median is registered but was rejected: %v", err)
+	}
+}
+
 func TestFitErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	registerRowsDataset(t, ts.URL, "toy", 50)
@@ -247,7 +291,7 @@ func TestFitErrors(t *testing.T) {
 		{"unknown dataset", fitRequest{Tenant: "acme", Dataset: "ghost", Model: "linear", Epsilon: 0.1},
 			http.StatusNotFound, codeNotFound},
 		{"unknown model", fitRequest{Tenant: "acme", Dataset: "toy", Model: "quantile", Epsilon: 0.1},
-			http.StatusBadRequest, codeInvalidRequest},
+			http.StatusBadRequest, codeUnknownTask},
 		{"bad epsilon", fitRequest{Tenant: "acme", Dataset: "toy", Model: "linear", Epsilon: 0},
 			http.StatusBadRequest, codeInvalidRequest},
 		{"ridge without weight", fitRequest{Tenant: "acme", Dataset: "toy", Model: "ridge", Epsilon: 0.1},

@@ -263,7 +263,7 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	tr := obs.TraceFrom(r.Context())
 	opts, err := req.Options.build(req.Model)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		s.writeOptionsError(w, err)
 		return
 	}
 	opts = append(opts, funcmech.WithProbe(obs.TraceProbe{T: tr}))
@@ -289,23 +289,13 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	accSpan := tr.StartSpan(obs.SpanDataset)
 	acc := st.Merged()
 	accSpan.End(obs.Int("records", int64(acc.Len())), obs.Str("source", "stream"))
-	var (
-		weights []float64
-		report  *funcmech.Report
-	)
-	switch req.Model {
-	case "linear", "ridge":
-		var m *funcmech.LinearModel
-		m, report, err = funcmech.LinearRegressionFromAccumulator(acc, req.Epsilon, opts...)
-		if err == nil {
-			weights = m.Weights()
-		}
-	case "logistic":
-		var m *funcmech.LogisticModel
-		m, report, err = funcmech.LogisticRegressionFromAccumulator(acc, req.Epsilon, opts...)
-		if err == nil {
-			weights = m.Weights()
-		}
+	// Like handleFit, the model resolved against the task registry during
+	// option validation, so every registered task refits through this one
+	// call over the stream's live fold for that task.
+	var weights []float64
+	m, report, err := funcmech.FitTaskFromAccumulator(acc, req.Model, req.Epsilon, opts...)
+	if err == nil {
+		weights = m.Weights()
 	}
 	elapsed := time.Since(start)
 	s.stats.RecordRefit(outcomeFor(err))

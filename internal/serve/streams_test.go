@@ -119,13 +119,14 @@ func TestStreamLifecycleOverHTTP(t *testing.T) {
 // TestRefitBitIdenticalToFitOverHTTP is the acceptance criterion end to end:
 // the same records, ingested into a single-shard stream versus registered as
 // a dataset, produce bit-identical weights from /v1/streams/{name}/refit and
-// /v1/fit at a fixed seed and parallelism 1.
+// /v1/fit at a fixed seed and parallelism 1 — for every normalized-target
+// model served through the registry, with no model-specific handling in the
+// server (median flows through the same generic path as linear).
 func TestRefitBitIdenticalToFitOverHTTP(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	createTenant(t, ts.URL, "acme", 10)
 	rows := syntheticRows(400, 2)
 
-	// Path 1: one-shot fit over the materialized dataset.
 	resp := postJSON(t, ts.URL+"/v1/datasets", datasetRequest{
 		Name: "materialized", Schema: testStreamSchema(), Rows: rows,
 	})
@@ -133,17 +134,6 @@ func TestRefitBitIdenticalToFitOverHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("dataset: status %d", resp.StatusCode)
 	}
-	seed := int64(17)
-	resp = postJSON(t, ts.URL+"/v1/fit", fitRequest{
-		Tenant: "acme", Dataset: "materialized", Model: "linear", Epsilon: 1.0,
-		Options: fitOptions{Intercept: true, Parallelism: 1, Seed: &seed},
-	})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("fit: status %d", resp.StatusCode)
-	}
-	oneShot := decode[fitResponse](t, resp)
-
-	// Path 2: stream ingest (odd batch sizes) + refit.
 	createStream(t, ts.URL, streamRequest{Name: "live", Schema: testStreamSchema(), Intercept: true})
 	for _, cut := range [][2]int{{0, 37}, {37, 201}, {201, 400}} {
 		resp := postJSON(t, ts.URL+"/v1/streams/live/ingest", ingestRequest{Rows: rowsJSON(t, rows[cut[0]:cut[1]])})
@@ -152,25 +142,40 @@ func TestRefitBitIdenticalToFitOverHTTP(t *testing.T) {
 			t.Fatalf("ingest: status %d", resp.StatusCode)
 		}
 	}
-	resp = postJSON(t, ts.URL+"/v1/streams/live/refit", refitRequest{
-		Tenant: "acme", Model: "linear", Epsilon: 1.0,
-		Options: refitOptions{Seed: &seed},
-	})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("refit: status %d", resp.StatusCode)
-	}
-	refit := decode[refitResponse](t, resp)
 
-	if len(oneShot.Weights) != len(refit.Weights) {
-		t.Fatalf("weight counts differ: %d vs %d", len(oneShot.Weights), len(refit.Weights))
-	}
-	for i := range oneShot.Weights {
-		if oneShot.Weights[i] != refit.Weights[i] {
-			t.Fatalf("weight %d: fit %v vs refit %v (want bit-identical)", i, oneShot.Weights[i], refit.Weights[i])
+	for i, model := range []string{"linear", "median"} {
+		seed := int64(17 + i)
+		// Path 1: one-shot fit over the materialized dataset.
+		resp = postJSON(t, ts.URL+"/v1/fit", fitRequest{
+			Tenant: "acme", Dataset: "materialized", Model: model, Epsilon: 1.0,
+			Options: fitOptions{Intercept: true, Parallelism: 1, Seed: &seed},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s fit: status %d", model, resp.StatusCode)
 		}
-	}
-	if oneShot.Report.Delta != refit.Report.Delta || oneShot.Report.NoiseScale != refit.Report.NoiseScale {
-		t.Fatalf("reports diverge: %+v vs %+v", oneShot.Report, refit.Report)
+		oneShot := decode[fitResponse](t, resp)
+
+		// Path 2: refit from the stream's live fold for the same task.
+		resp = postJSON(t, ts.URL+"/v1/streams/live/refit", refitRequest{
+			Tenant: "acme", Model: model, Epsilon: 1.0,
+			Options: refitOptions{Seed: &seed},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s refit: status %d", model, resp.StatusCode)
+		}
+		refit := decode[refitResponse](t, resp)
+
+		if len(oneShot.Weights) != len(refit.Weights) {
+			t.Fatalf("%s weight counts differ: %d vs %d", model, len(oneShot.Weights), len(refit.Weights))
+		}
+		for i := range oneShot.Weights {
+			if oneShot.Weights[i] != refit.Weights[i] {
+				t.Fatalf("%s weight %d: fit %v vs refit %v (want bit-identical)", model, i, oneShot.Weights[i], refit.Weights[i])
+			}
+		}
+		if oneShot.Report.Delta != refit.Report.Delta || oneShot.Report.NoiseScale != refit.Report.NoiseScale {
+			t.Fatalf("%s reports diverge: %+v vs %+v", model, oneShot.Report, refit.Report)
+		}
 	}
 }
 

@@ -1,8 +1,6 @@
 package funcmech
 
 import (
-	"fmt"
-
 	"funcmech/internal/core"
 	"funcmech/internal/dataset"
 	"funcmech/internal/regression"
@@ -70,30 +68,13 @@ func (m *LinearModel) NormalizedMSE(ds *Dataset) float64 {
 // schema's public bounds drive the normalization the privacy analysis
 // requires.
 func LinearRegression(ds *Dataset, epsilon float64, opts ...Option) (*LinearModel, *Report, error) {
-	cfg := buildConfig(opts)
-	if cfg.threshold != nil {
-		return nil, nil, fmt.Errorf("funcmech: WithBinarizeThreshold applies only to LogisticRegression")
-	}
-	if cfg.ridge < 0 {
-		return nil, nil, fmt.Errorf("funcmech: negative ridge weight %v", cfg.ridge)
-	}
-	inner := ds.inner
-	if cfg.intercept {
-		inner = withInterceptColumn(inner)
-	}
-	nz := dataset.NewNormalizer(inner.Schema)
-	norm := nz.NormalizeForLinear(inner)
-	var task core.Task = core.LinearTask{}
-	if cfg.ridge > 0 {
-		task = core.RidgeTask{Weight: cfg.ridge}
-	}
-	res, err := core.Run(task, norm, epsilon, cfg.rng, cfg.opts)
+	m, rep, err := FitTask(ds, core.TaskNameLinear, epsilon, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &LinearModel{
-		weights: res.Weights, nz: nz, schema: ds.Schema(), intercept: cfg.intercept,
-	}, reportFrom(res), nil
+		weights: m.weights, nz: m.nz, schema: m.schema, intercept: m.intercept,
+	}, rep, nil
 }
 
 // LinearRegressionExact fits the non-private least-squares model on the same

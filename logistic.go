@@ -103,19 +103,14 @@ func prepareLogistic(ds *Dataset, cfg config) (*dataset.Dataset, *dataset.Normal
 // paper's Algorithm 2 (§5). The target must be 0/1, or supply
 // WithBinarizeThreshold to derive it.
 func LogisticRegression(ds *Dataset, epsilon float64, opts ...Option) (*LogisticModel, *Report, error) {
-	cfg := buildConfig(opts)
-	norm, nz, err := prepareLogistic(ds, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := core.Run(core.LogisticTask{}, norm, epsilon, cfg.rng, cfg.opts)
+	m, rep, err := FitTask(ds, core.TaskNameLogistic, epsilon, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &LogisticModel{
-		weights: res.Weights, nz: nz, schema: ds.Schema(),
-		threshold: cfg.threshold, intercept: cfg.intercept,
-	}, reportFrom(res), nil
+		weights: m.weights, nz: m.nz, schema: m.schema,
+		threshold: m.threshold, intercept: m.intercept,
+	}, rep, nil
 }
 
 // LogisticRegressionExact fits the non-private maximum-likelihood model on

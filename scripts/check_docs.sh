@@ -23,6 +23,13 @@
 #      d-widths listed in the `specialized` row match the [N]float64 stencil
 #      widths in kernel_spec.go.
 #
+#   5. The task-registry tables in README.md and docs/ARCHITECTURE.md
+#      (between <!-- tasks:begin --> and <!-- tasks:end -->) agree with the
+#      registry source in BOTH directions: every documented task name matches
+#      a TaskName… constant in internal/core/registry.go and vice versa, and
+#      every documented sensitivity formula is the verbatim
+#      SensitivityFormula string of a registered spec and vice versa.
+#
 # Run locally or in CI (the docs job); no dependencies beyond POSIX tools.
 set -euo pipefail
 
@@ -147,8 +154,64 @@ fi
 t="$(wc -l < "$WORK/doc_tiers" | tr -d ' ')"
 w="$(wc -l < "$WORK/doc_widths" | tr -d ' ')"
 
+# --- 5. task-registry tables <-> internal/core ----------------------------
+regsrc=internal/core/registry.go
+grep -oE 'TaskName[A-Z][A-Za-z]*[[:space:]]*=[[:space:]]*"[a-z]+"' "$regsrc" |
+  sed -E 's/.*"([a-z]+)"/\1/' | sort -u > "$WORK/src_tasks"
+grep -hoE 'SensitivityFormula:[[:space:]]*"[^"]+"' internal/core/*.go |
+  sed -E 's/^SensitivityFormula:[[:space:]]*"(.*)"$/\1/' | sort -u > "$WORK/src_formulas"
+if [ ! -s "$WORK/src_tasks" ] || [ ! -s "$WORK/src_formulas" ]; then
+  echo "check-docs: could not extract task names/formulas from internal/core" >&2
+  fail=1
+fi
+for doc in README.md docs/ARCHITECTURE.md; do
+  sed -n '/<!-- tasks:begin -->/,/<!-- tasks:end -->/p' "$doc" |
+    grep -E '^\| `' > "$WORK/task_rows" || true
+  if [ ! -s "$WORK/task_rows" ]; then
+    echo "check-docs: no task-registry table between markers in $doc" >&2
+    fail=1
+    continue
+  fi
+  sed -E 's/^\| `([a-z]+)`.*/\1/' "$WORK/task_rows" | sort > "$WORK/doc_tasks"
+  while IFS= read -r name; do
+    if ! grep -qx "$name" "$WORK/src_tasks"; then
+      echo "check-docs: $doc documents task $name, but $regsrc has no TaskName constant for it" >&2
+      fail=1
+    fi
+  done < "$WORK/doc_tasks"
+  while IFS= read -r name; do
+    if ! grep -qx "$name" "$WORK/doc_tasks"; then
+      echo "check-docs: $regsrc registers \"$name\", but $doc has no task-table row for it" >&2
+      fail=1
+    fi
+  done < "$WORK/src_tasks"
+  # Sensitivity column: the second backticked field of each row must be the
+  # verbatim SensitivityFormula string of some registered spec.
+  : > "$WORK/doc_formulas"
+  while IFS= read -r row; do
+    formula="$(printf '%s' "$row" | sed -E 's/^\| `[^`]+` \| [0-9]+ \| `([^`]+)` \|.*$/\1/')"
+    if [ -z "$formula" ] || [ "$formula" = "$row" ]; then
+      echo "check-docs: unparseable task-table row in $doc: $row" >&2
+      fail=1
+      continue
+    fi
+    printf '%s\n' "$formula" >> "$WORK/doc_formulas"
+    if ! grep -qxF "$formula" "$WORK/src_formulas"; then
+      echo "check-docs: $doc lists sensitivity \"$formula\", but no spec in internal/core declares it" >&2
+      fail=1
+    fi
+  done < "$WORK/task_rows"
+  while IFS= read -r formula; do
+    if ! grep -qxF "$formula" "$WORK/doc_formulas"; then
+      echo "check-docs: internal/core declares sensitivity \"$formula\", but $doc does not document it" >&2
+      fail=1
+    fi
+  done < "$WORK/src_formulas"
+done
+k="$(wc -l < "$WORK/src_tasks" | tr -d ' ')"
+
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAIL" >&2
   exit 1
 fi
-echo "check-docs: PASS (links resolve; $n spec constants match $src; $m metric families match $obssrc; $t tiers and $w specialized widths match internal/core)"
+echo "check-docs: PASS (links resolve; $n spec constants match $src; $m metric families match $obssrc; $t tiers and $w specialized widths match internal/core; $k registry tasks match README.md and docs/ARCHITECTURE.md)"

@@ -9,7 +9,11 @@
 # it ingests the same rows into two fresh streams, once as JSON and once as
 # an fmbin binary frame (cmd/fmbin, Content-Type: application/x-fmbin), and
 # asserts the two refits are bit-identical — the wire format must not
-# change a single bit of what the accumulator folds.
+# change a single bit of what the accumulator folds. A final section proves
+# the task registry end to end: one stream ingested once serves both a
+# `linear` and a `median` refit, each charging the tenant's WAL-journaled
+# budget, and the median refit is bit-identical to a one-shot /v1/fit over
+# the same rows at the same seed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -208,6 +212,66 @@ code=$(curl -s -o "$WORKDIR/corrupt.json" -w '%{http_code}' -X POST "$BASE/v1/st
 [ "$code" = 400 ] || fail "corrupt frame returned $code, want 400: $(cat "$WORKDIR/corrupt.json")"
 [ "$(curl -fsS "$BASE/v1/streams" | jq '.streams[] | select(.name=="bbin") | .records')" = 150 ] \
   || fail "corrupt frame changed bbin's record count"
+
+echo "e2e-stream: one ingest, many tasks — linear + median refit from the same stream"
+# Fresh tenant: acme's 4.0 budget is exactly spent by the four refits above.
+code=$(curl -s -o "$WORKDIR/medco.json" -w '%{http_code}' -X POST "$BASE/v1/tenants" \
+  -H 'Content-Type: application/json' -d '{"name":"medco","budget":4.0}')
+[ "$code" = 201 ] || fail "tenant medco creation returned $code: $(cat "$WORKDIR/medco.json")"
+
+multi_def='{"name":"multi","intercept":true,"shards":1,
+  "schema":{"features":[{"name":"x1","min":0,"max":10},{"name":"x2","min":0,"max":5}],
+            "target":{"name":"y","min":0,"max":50}}}'
+code=$(curl -s -o "$WORKDIR/multi.json" -w '%{http_code}' -X POST "$BASE/v1/streams" \
+  -H 'Content-Type: application/json' -d "$multi_def")
+[ "$code" = 201 ] || fail "stream multi creation returned $code: $(cat "$WORKDIR/multi.json")"
+
+code=$(curl -s -o "$WORKDIR/multi_ingest.json" -w '%{http_code}' -X POST "$BASE/v1/streams/multi/ingest" \
+  -H 'Content-Type: application/json' -d @"$WORKDIR/batch1.json")
+[ "$code" = 200 ] || fail "ingest into multi returned $code: $(cat "$WORKDIR/multi_ingest.json")"
+
+# Both tasks refit from the single ingest; the records were folded once.
+for model in linear median; do
+  refit_multi=$(printf '{"tenant":"medco","model":"%s","epsilon":1.0,"options":{"seed":23}}' "$model")
+  code=$(curl -s -o "$WORKDIR/refit_multi_$model.json" -w '%{http_code}' -X POST "$BASE/v1/streams/multi/refit" \
+    -H 'Content-Type: application/json' -d "$refit_multi")
+  [ "$code" = 200 ] || fail "$model refit from multi returned $code: $(cat "$WORKDIR/refit_multi_$model.json")"
+  covered=$(jq '.records_covered' "$WORKDIR/refit_multi_$model.json")
+  [ "$covered" = 150 ] || fail "$model refit covered $covered records, want 150"
+  jq -c '.weights' "$WORKDIR/refit_multi_$model.json" > "$WORKDIR/weights_multi_$model.json"
+done
+diff -q "$WORKDIR/weights_multi_linear.json" "$WORKDIR/weights_multi_median.json" >/dev/null \
+  && fail "linear and median refits released identical weights (tasks are not being distinguished)"
+
+echo "e2e-stream: both refits must have charged medco's WAL-journaled budget"
+curl -fsS "$BASE/v1/tenants/medco" >"$WORKDIR/medco2.json" || fail "tenant medco unreachable"
+spent=$(jq '.epsilon_spent' "$WORKDIR/medco2.json")
+[ "$spent" = 2 ] || fail "medco epsilon_spent = $spent after linear+median refits, want 2"
+
+echo "e2e-stream: median refit must be bit-identical to a one-shot fit at the same seed"
+jq -c '{name:"multi-data",
+        schema:{features:[{"name":"x1","min":0,"max":10},{"name":"x2","min":0,"max":5}],
+                target:{"name":"y","min":0,"max":50}},
+        rows:.rows}' "$WORKDIR/batch1.json" > "$WORKDIR/multi_dataset.json"
+code=$(curl -s -o "$WORKDIR/multi_ds.json" -w '%{http_code}' -X POST "$BASE/v1/datasets" \
+  -H 'Content-Type: application/json' -d @"$WORKDIR/multi_dataset.json")
+[ "$code" = 201 ] || fail "dataset multi-data registration returned $code: $(cat "$WORKDIR/multi_ds.json")"
+fit_median='{"tenant":"medco","dataset":"multi-data","model":"median","epsilon":1.0,
+  "options":{"intercept":true,"parallelism":1,"seed":23}}'
+code=$(curl -s -o "$WORKDIR/fit_median.json" -w '%{http_code}' -X POST "$BASE/v1/fit" \
+  -H 'Content-Type: application/json' -d "$fit_median")
+[ "$code" = 200 ] || fail "one-shot median fit returned $code: $(cat "$WORKDIR/fit_median.json")"
+jq -c '.weights' "$WORKDIR/fit_median.json" > "$WORKDIR/weights_fit_median.json"
+diff "$WORKDIR/weights_multi_median.json" "$WORKDIR/weights_fit_median.json" \
+  || fail "median refit differs from one-shot median fit (want bit-identical at fixed seed)"
+
+echo "e2e-stream: an unregistered task name must be a typed 400 unknown_task"
+bad_refit='{"tenant":"medco","model":"quantile","epsilon":0.5,"options":{"seed":1}}'
+code=$(curl -s -o "$WORKDIR/bad_refit.json" -w '%{http_code}' -X POST "$BASE/v1/streams/multi/refit" \
+  -H 'Content-Type: application/json' -d "$bad_refit")
+[ "$code" = 400 ] || fail "unknown task refit returned $code, want 400: $(cat "$WORKDIR/bad_refit.json")"
+[ "$(jq -r '.error.code' "$WORKDIR/bad_refit.json")" = "unknown_task" ] \
+  || fail "unknown task error code = $(jq -r '.error.code' "$WORKDIR/bad_refit.json"), want unknown_task"
 
 echo "e2e-stream: graceful shutdown"
 kill -TERM "$SERVER_PID"

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"funcmech/internal/core"
 	"funcmech/internal/dataset"
@@ -34,7 +35,7 @@ const envelopeVersion = 1
 // under the model's ε guarantee.
 func (m *LinearModel) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(modelEnvelope{
-		Kind:      "linear",
+		Kind:      core.TaskNameLinear,
 		Schema:    m.schema,
 		Weights:   m.weights,
 		Intercept: m.intercept,
@@ -45,7 +46,7 @@ func (m *LinearModel) Save(w io.Writer) error {
 // Save writes the model as JSON.
 func (m *LogisticModel) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(modelEnvelope{
-		Kind:      "logistic",
+		Kind:      core.TaskNameLogistic,
 		Schema:    m.schema,
 		Weights:   m.weights,
 		Intercept: m.intercept,
@@ -56,7 +57,7 @@ func (m *LogisticModel) Save(w io.Writer) error {
 
 // LoadLinearModel reads a model written by LinearModel.Save.
 func LoadLinearModel(r io.Reader) (*LinearModel, error) {
-	env, err := decodeEnvelope(r, "linear")
+	env, err := decodeEnvelope(r, core.TaskNameLinear)
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +75,7 @@ func LoadLinearModel(r io.Reader) (*LinearModel, error) {
 
 // LoadLogisticModel reads a model written by LogisticModel.Save.
 func LoadLogisticModel(r io.Reader) (*LogisticModel, error) {
-	env, err := decodeEnvelope(r, "logistic")
+	env, err := decodeEnvelope(r, core.TaskNameLogistic)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +113,17 @@ func decodeEnvelope(r io.Reader, kind string) (*modelEnvelope, error) {
 	return &env, nil
 }
 
+// taskBlock is one fold's scalar state in a version-4 accumulator envelope;
+// the coefficient vectors live in the shared fmbin frame, one column per
+// fold in sorted fold-name order.
+type taskBlock struct {
+	N    int     `json:"n"`
+	Beta float64 `json:"beta"`
+	// Error, when set, is the fold's poisoning error (a record whose label
+	// could not be derived, recorded verbatim so restores reproduce it).
+	Error string `json:"error,omitempty"`
+}
+
 // accumulatorEnvelope is the on-disk format of a streaming Accumulator.
 // Unlike modelEnvelope, whose contents are already private, the coefficient
 // sums here are raw aggregates of the ingested records: a serialized
@@ -120,17 +132,25 @@ func decodeEnvelope(r io.Reader, kind string) (*modelEnvelope, error) {
 // without re-ingesting, not for publication). See the data-sensitivity
 // table in docs/ARCHITECTURE.md.
 type accumulatorEnvelope struct {
-	Kind      string                `json:"kind"` // "accumulator"
-	Schema    Schema                `json:"schema"`
-	Intercept bool                  `json:"intercept"`
-	Threshold *float64              `json:"threshold,omitempty"`
-	Linear    core.AccumulatorState `json:"linear"`
-	Logistic  core.AccumulatorState `json:"logistic"`
-	// Coeffs is version 3's coefficient payload: one compressed fmbin
-	// frame (docs/FORMAT.md) with two columns — linear and logistic — and
-	// d + d(d+1)/2 rows per column ([alpha..., packed upper triangle...]).
-	// When present, Linear and Logistic carry only the record counts and
-	// beta scalars. JSON base64-encodes the bytes.
+	Kind      string   `json:"kind"` // "accumulator"
+	Schema    Schema   `json:"schema"`
+	Intercept bool     `json:"intercept"`
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Records is the total record count (version 4); earlier versions imply
+	// it from the linear fold's count.
+	Records int `json:"records,omitempty"`
+	// Tasks is version 4's per-fold state, keyed by registry fold name. The
+	// coefficient frame carries one column per entry, ordered by sorted key.
+	Tasks map[string]taskBlock `json:"tasks,omitempty"`
+	// Linear and Logistic are the pre-registry per-fold states (versions
+	// 1–3), kept for decoding old snapshots; version 4 writes Tasks instead.
+	Linear   *core.AccumulatorState `json:"linear,omitempty"`
+	Logistic *core.AccumulatorState `json:"logistic,omitempty"`
+	// Coeffs is the coefficient payload (versions 3 and 4): one compressed
+	// fmbin frame (docs/FORMAT.md) with a column per fold and d + d(d+1)/2
+	// rows per column ([alpha..., packed upper triangle...]). Version 3
+	// frames carry exactly the linear and logistic columns. JSON
+	// base64-encodes the bytes.
 	Coeffs []byte `json:"coeffs,omitempty"`
 	// FastMath records the accumulator's compute tier
 	// (WithReproducible(false)); absent in envelopes from before the tier
@@ -143,56 +163,82 @@ type accumulatorEnvelope struct {
 
 const accumulatorKind = "accumulator"
 
-// Accumulator envelope versions. Version 3 moves the coefficient vectors
-// into a compressed fmbin frame (see accumulatorEnvelope.Coeffs and
+// Accumulator envelope versions. Version 4 replaces the hard-wired
+// linear/logistic field pair with named per-task blocks (Tasks) so the
+// envelope carries one fold per registered task family, and widens the
+// coefficient frame to one column per fold. Version 3 moved the coefficient
+// vectors into a compressed fmbin frame (see accumulatorEnvelope.Coeffs and
 // docs/FORMAT.md), cutting snapshot size well below the version-2 JSON
 // float arrays. Version 2 stores the coefficient matrices as packed upper
 // triangles (d(d+1)/2 values) instead of version 1's full d×d matrices
-// whose lower halves were structurally zero. Versions 1 and 2 still
-// decode; anything else fails with ErrVersionMismatch.
+// whose lower halves were structurally zero. Versions 1–3 still decode
+// (folds they predate restore poisoned); anything else fails with
+// ErrVersionMismatch.
 const (
-	accumulatorVersion       = 3
+	accumulatorVersion       = 4
+	accumulatorVersionFrame  = 3
 	accumulatorVersionPacked = 2
 	accumulatorVersionLegacy = 1
 )
 
-// Save writes the accumulator's full state as a version-3 envelope — JSON
-// metadata around a compressed fmbin coefficient frame; LoadAccumulator
-// inverts it bit-exactly. See accumulatorEnvelope for the sensitivity
-// caveat.
+// Save writes the accumulator's full state as a version-4 envelope — JSON
+// metadata with a named block per fold around a compressed fmbin coefficient
+// frame; LoadAccumulator inverts it bit-exactly. See accumulatorEnvelope for
+// the sensitivity caveat.
 func (a *Accumulator) Save(w io.Writer) error {
-	lin, log := a.linear.State(), a.logistic.State()
-	flat := make([]float64, 0, 2*(len(lin.Alpha)+len(lin.MU)))
-	for i := range lin.Alpha {
-		flat = append(flat, lin.Alpha[i], log.Alpha[i])
+	cols := len(a.folds)
+	states := make([]core.AccumulatorState, cols)
+	tasks := make(map[string]taskBlock, cols)
+	for j, f := range a.folds {
+		st := f.acc.State()
+		states[j] = st
+		tb := taskBlock{N: st.N, Beta: st.Beta}
+		if f.err != nil {
+			tb.Error = f.err.Error()
+		}
+		tasks[f.key] = tb
 	}
-	for i := range lin.MU {
-		flat = append(flat, lin.MU[i], log.MU[i])
+	flat := make([]float64, 0, cols*(len(states[0].Alpha)+len(states[0].MU)))
+	for r := range states[0].Alpha {
+		for j := range states {
+			flat = append(flat, states[j].Alpha[r])
+		}
 	}
-	frame, err := fmbin.Encode(nil, flat, 2, true)
+	for r := range states[0].MU {
+		for j := range states {
+			flat = append(flat, states[j].MU[r])
+		}
+	}
+	frame, err := fmbin.Encode(nil, flat, cols, true)
 	if err != nil {
 		return fmt.Errorf("funcmech: encoding coefficient frame: %w", err)
 	}
-	env := accumulatorEnvelope{
+	return json.NewEncoder(w).Encode(accumulatorEnvelope{
 		Kind:      accumulatorKind,
 		Schema:    a.schema,
 		Intercept: a.intercept,
 		Threshold: a.threshold,
-		Linear:    core.AccumulatorState{N: lin.N, Beta: lin.Beta},
-		Logistic:  core.AccumulatorState{N: log.N, Beta: log.Beta},
+		Records:   a.n,
+		Tasks:     tasks,
 		Coeffs:    frame,
-		FastMath:  a.linear.FastMath(),
+		FastMath:  a.folds[0].acc.FastMath(),
 		Version:   accumulatorVersion,
-	}
-	if a.logisticErr != nil {
-		env.LogisticError = a.logisticErr.Error()
-	}
-	return json.NewEncoder(w).Encode(env)
+	})
+}
+
+// foldPredates marks a restored fold whose snapshot was written before the
+// fold's task was registered: earlier records were never folded for it, so
+// refits would silently undercount — they fail with this error instead.
+func foldPredates(f *taskFold) {
+	f.err = fmt.Errorf("funcmech: snapshot predates task %q; %s refits are unavailable", f.key, f.key)
 }
 
 // LoadAccumulator reads an accumulator written by Save and resumes it:
 // further Add calls continue the same fold, and fits from the restored
-// accumulator are bit-identical to fits from the original.
+// accumulator are bit-identical to fits from the original. Envelopes from
+// earlier versions (or written before a task was registered) restore with
+// the missing folds poisoned; envelopes carrying a fold for a task this
+// build does not know fail with an error wrapping ErrUnknownTask.
 func LoadAccumulator(r io.Reader) (*Accumulator, error) {
 	var env accumulatorEnvelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
@@ -202,10 +248,10 @@ func LoadAccumulator(r io.Reader) (*Accumulator, error) {
 		return nil, fmt.Errorf("funcmech: envelope kind %q, want %q", env.Kind, accumulatorKind)
 	}
 	switch env.Version {
-	case accumulatorVersion, accumulatorVersionPacked, accumulatorVersionLegacy:
+	case accumulatorVersion, accumulatorVersionFrame, accumulatorVersionPacked, accumulatorVersionLegacy:
 	default:
-		return nil, fmt.Errorf("%w: accumulator envelope version %d, want %d (or earlier %d, %d)",
-			ErrVersionMismatch, env.Version, accumulatorVersion, accumulatorVersionPacked, accumulatorVersionLegacy)
+		return nil, fmt.Errorf("%w: accumulator envelope version %d, want %d (or earlier %d, %d, %d)",
+			ErrVersionMismatch, env.Version, accumulatorVersion, accumulatorVersionFrame, accumulatorVersionPacked, accumulatorVersionLegacy)
 	}
 	opts := []Option{}
 	if env.Intercept {
@@ -219,53 +265,139 @@ func LoadAccumulator(r io.Reader) (*Accumulator, error) {
 		return nil, fmt.Errorf("funcmech: stored accumulator schema invalid: %w", err)
 	}
 	if env.Version == accumulatorVersion {
-		if err := unpackCoeffFrame(&env, a.d); err != nil {
-			return nil, err
-		}
+		err = restoreTaskFolds(a, &env)
+	} else {
+		err = restoreLegacyFolds(a, &env)
 	}
-	if len(env.Linear.Alpha) != a.d || len(env.Logistic.Alpha) != a.d {
-		return nil, fmt.Errorf("funcmech: accumulator state dimensionality %d/%d does not match schema's %d",
-			len(env.Linear.Alpha), len(env.Logistic.Alpha), a.d)
+	if err != nil {
+		return nil, err
 	}
-	if a.linear, err = core.AccumulatorFromState(core.LinearTask{}, env.Linear); err != nil {
-		return nil, fmt.Errorf("funcmech: restoring linear coefficients: %w", err)
-	}
-	if a.logistic, err = core.AccumulatorFromState(core.LogisticTask{}, env.Logistic); err != nil {
-		return nil, fmt.Errorf("funcmech: restoring logistic coefficients: %w", err)
-	}
-	a.linear.SetFastMath(env.FastMath)
-	a.logistic.SetFastMath(env.FastMath)
-	if env.LogisticError != "" {
-		a.logisticErr = errors.New(env.LogisticError)
+	for _, f := range a.folds {
+		f.acc.SetFastMath(env.FastMath)
 	}
 	return a, nil
 }
 
+// restoreTaskFolds restores a version-4 envelope: one named block and one
+// frame column per fold, in sorted fold-name order.
+func restoreTaskFolds(a *Accumulator, env *accumulatorEnvelope) error {
+	names := make([]string, 0, len(env.Tasks))
+	for name := range env.Tasks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	col := make(map[string]int, len(names))
+	for j, name := range names {
+		if a.fold(name) == nil {
+			return fmt.Errorf("%w %q: snapshot carries a coefficient fold this build cannot resume", ErrUnknownTask, name)
+		}
+		col[name] = j
+	}
+	packed := a.d * (a.d + 1) / 2
+	flat, err := decodeCoeffFrame(env, len(names), a.d+packed)
+	if err != nil {
+		return err
+	}
+	cols := len(names)
+	for _, f := range a.folds {
+		j, ok := col[f.key]
+		if !ok {
+			foldPredates(f)
+			continue
+		}
+		tb := env.Tasks[f.key]
+		st := core.AccumulatorState{N: tb.N, Beta: tb.Beta, Alpha: make([]float64, a.d), MU: make([]float64, packed)}
+		for r := 0; r < a.d; r++ {
+			st.Alpha[r] = flat[r*cols+j]
+		}
+		for r := 0; r < packed; r++ {
+			st.MU[r] = flat[(a.d+r)*cols+j]
+		}
+		if f.acc, err = core.AccumulatorFromState(f.acc.Task(), st); err != nil {
+			return fmt.Errorf("funcmech: restoring %s coefficients: %w", f.key, err)
+		}
+		if tb.Error != "" {
+			f.err = errors.New(tb.Error)
+		}
+	}
+	a.n = env.Records
+	return nil
+}
+
+// restoreLegacyFolds restores a version-1/2/3 envelope: the linear and
+// logistic folds carry state, every other registered fold predates the
+// snapshot and restores poisoned.
+func restoreLegacyFolds(a *Accumulator, env *accumulatorEnvelope) error {
+	if env.Version == accumulatorVersionFrame {
+		if err := unpackCoeffFrame(env, a.d); err != nil {
+			return err
+		}
+	}
+	if env.Linear == nil || env.Logistic == nil {
+		return fmt.Errorf("funcmech: version-%d accumulator envelope is missing its linear/logistic state", env.Version)
+	}
+	if len(env.Linear.Alpha) != a.d || len(env.Logistic.Alpha) != a.d {
+		return fmt.Errorf("funcmech: accumulator state dimensionality %d/%d does not match schema's %d",
+			len(env.Linear.Alpha), len(env.Logistic.Alpha), a.d)
+	}
+	var err error
+	for _, f := range a.folds {
+		switch f.key {
+		case core.TaskNameLinear:
+			if f.acc, err = core.AccumulatorFromState(f.acc.Task(), *env.Linear); err != nil {
+				return fmt.Errorf("funcmech: restoring linear coefficients: %w", err)
+			}
+		case core.TaskNameLogistic:
+			if f.acc, err = core.AccumulatorFromState(f.acc.Task(), *env.Logistic); err != nil {
+				return fmt.Errorf("funcmech: restoring logistic coefficients: %w", err)
+			}
+			if env.LogisticError != "" {
+				f.err = errors.New(env.LogisticError)
+			}
+		default:
+			foldPredates(f)
+		}
+	}
+	a.n = env.Linear.N
+	return nil
+}
+
+// decodeCoeffFrame decodes an envelope's fmbin coefficient frame and checks
+// its geometry: cols columns of rows rows each.
+func decodeCoeffFrame(env *accumulatorEnvelope, cols, rows int) ([]float64, error) {
+	if len(env.Coeffs) == 0 {
+		return nil, fmt.Errorf("funcmech: version-%d accumulator envelope has no coefficient frame", env.Version)
+	}
+	flat, got, err := fmbin.Decode(env.Coeffs, nil)
+	if err != nil {
+		if errors.Is(err, fmbin.ErrVersion) {
+			return nil, fmt.Errorf("%w: coefficient frame: %v", ErrVersionMismatch, err)
+		}
+		return nil, fmt.Errorf("funcmech: decoding coefficient frame: %w", err)
+	}
+	if got != cols {
+		return nil, fmt.Errorf("funcmech: coefficient frame has %d columns, want %d", got, cols)
+	}
+	if len(flat) != cols*rows {
+		return nil, fmt.Errorf("funcmech: coefficient frame has %d rows per column, want %d", len(flat)/cols, rows)
+	}
+	return flat, nil
+}
+
 // unpackCoeffFrame decodes a version-3 envelope's fmbin coefficient frame
 // into the envelope's Linear and Logistic states in place, so the rest of
-// LoadAccumulator is version-agnostic. d is the coefficient count implied
+// the legacy restore is version-agnostic. d is the coefficient count implied
 // by the envelope's schema; the frame must carry exactly two columns of
 // d + d(d+1)/2 rows (alpha, then the packed upper triangle).
 func unpackCoeffFrame(env *accumulatorEnvelope, d int) error {
-	if len(env.Coeffs) == 0 {
-		return fmt.Errorf("funcmech: version-%d accumulator envelope has no coefficient frame", env.Version)
+	if env.Linear == nil || env.Logistic == nil {
+		return fmt.Errorf("funcmech: version-%d accumulator envelope is missing its linear/logistic state", env.Version)
 	}
-	flat, cols, err := fmbin.Decode(env.Coeffs, nil)
+	flat, err := decodeCoeffFrame(env, 2, d+d*(d+1)/2)
 	if err != nil {
-		if errors.Is(err, fmbin.ErrVersion) {
-			return fmt.Errorf("%w: coefficient frame: %v", ErrVersionMismatch, err)
-		}
-		return fmt.Errorf("funcmech: decoding coefficient frame: %w", err)
-	}
-	if cols != 2 {
-		return fmt.Errorf("funcmech: coefficient frame has %d columns, want 2", cols)
+		return err
 	}
 	rows := len(flat) / 2
-	packed := d * (d + 1) / 2
-	if rows != d+packed {
-		return fmt.Errorf("funcmech: coefficient frame has %d rows for %d coefficients (want %d)",
-			rows, d, d+packed)
-	}
 	linear := make([]float64, rows)
 	logistic := make([]float64, rows)
 	for r := 0; r < rows; r++ {

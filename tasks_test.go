@@ -1,0 +1,224 @@
+package funcmech_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"funcmech"
+)
+
+func TestTaskRegistrySurface(t *testing.T) {
+	names := funcmech.TaskNames()
+	if len(names) < 4 {
+		t.Fatalf("TaskNames() = %v, want at least the four built-ins", names)
+	}
+	for _, want := range []string{"linear", "ridge", "logistic", "median"} {
+		info, ok := funcmech.LookupTask(want)
+		if !ok {
+			t.Fatalf("LookupTask(%q) missed", want)
+		}
+		if info.Name != want || info.Degree != 2 || info.Sensitivity == "" || info.TargetRule == "" {
+			t.Errorf("task %q info incomplete: %+v", want, info)
+		}
+	}
+	if infos := funcmech.Tasks(); len(infos) != len(names) {
+		t.Fatalf("Tasks() returned %d entries for %d names", len(infos), len(names))
+	}
+	if _, ok := funcmech.LookupTask("quantile"); ok {
+		t.Fatal("LookupTask invented a task")
+	}
+}
+
+// TestFitTaskUnknownName: the sentinel is errors.Is-able and the message
+// enumerates every registered task.
+func TestFitTaskUnknownName(t *testing.T) {
+	ds := incomeDataset(30, 1)
+	_, _, err := funcmech.FitTask(ds, "quantile", 0.5)
+	if !errors.Is(err, funcmech.ErrUnknownTask) {
+		t.Fatalf("err = %v, want ErrUnknownTask", err)
+	}
+	for _, name := range funcmech.TaskNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered task %q", err, name)
+		}
+	}
+	acc, _ := funcmech.NewAccumulator(incomeSchema())
+	ingest(t, acc, incomeDataset(10, 2))
+	if _, _, err := funcmech.FitTaskFromAccumulator(acc, "quantile", 0.5); !errors.Is(err, funcmech.ErrUnknownTask) {
+		t.Fatalf("accumulator err = %v, want ErrUnknownTask", err)
+	}
+}
+
+// TestFitTaskMatchesNamedEntryPoints: the named wrappers and the generic
+// surface release bit-identical weights at a fixed seed — they are the same
+// path.
+func TestFitTaskMatchesNamedEntryPoints(t *testing.T) {
+	ds := incomeDataset(200, 31)
+	lin, _, err := funcmech.LinearRegression(ds, 0.8, funcmech.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gLin, _, err := funcmech.FitTask(ds, "linear", 0.8, funcmech.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWeights(t, "linear vs FitTask", lin.Weights(), gLin.Weights())
+
+	ridge, _, err := funcmech.LinearRegression(ds, 0.8, funcmech.WithSeed(6), funcmech.WithRidge(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gRidge, _, err := funcmech.FitTask(ds, "ridge", 0.8, funcmech.WithSeed(6), funcmech.WithRidge(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWeights(t, "ridge vs FitTask", ridge.Weights(), gRidge.Weights())
+
+	logit, _, err := funcmech.LogisticRegression(ds, 0.8, funcmech.WithSeed(7), funcmech.WithBinarizeThreshold(35000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gLog, _, err := funcmech.FitTask(ds, "logistic", 0.8, funcmech.WithSeed(7), funcmech.WithBinarizeThreshold(35000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWeights(t, "logistic vs FitTask", logit.Weights(), gLog.Weights())
+}
+
+// TestMedianTaskEndToEnd: the median task — registered entirely through the
+// core extension surface — fits one-shot, refits from an accumulator
+// bit-identically at a fixed seed, and predicts in raw target units.
+func TestMedianTaskEndToEnd(t *testing.T) {
+	ds := incomeDataset(300, 17)
+	m, rep, err := funcmech.FitTask(ds, "median", 0.8, funcmech.WithSeed(101), funcmech.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Task().Name != "median" || rep.Epsilon != 0.8 {
+		t.Fatalf("task %q, ε %v", m.Task().Name, rep.Epsilon)
+	}
+	if got := len(m.Weights()); got != 3 {
+		t.Fatalf("weights = %d, want 3", got)
+	}
+	if mse, mae := m.MSE(ds), m.MAE(ds); mse < 0 || mae < 0 {
+		t.Fatalf("negative errors: mse=%v mae=%v", mse, mae)
+	}
+
+	acc, err := funcmech.NewAccumulator(incomeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, acc, ds)
+	m2, _, err := funcmech.FitTaskFromAccumulator(acc, "median", 0.8, funcmech.WithSeed(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWeights(t, "median one-shot vs accumulator", m.Weights(), m2.Weights())
+
+	// Ridge weights don't apply to median regression.
+	if _, _, err := funcmech.FitTask(ds, "median", 0.8, funcmech.WithRidge(0.1)); err == nil {
+		t.Fatal("median accepted a ridge weight")
+	}
+}
+
+// TestMedianFoldSurvivesLogisticPoisoning: the per-task folds are
+// independent — continuous targets poison the logistic fold of a
+// threshold-less accumulator but leave median (and linear) refits intact.
+func TestMedianFoldSurvivesLogisticPoisoning(t *testing.T) {
+	acc, err := funcmech.NewAccumulator(incomeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, acc, incomeDataset(50, 3)) // continuous income targets
+	if _, _, err := funcmech.LogisticRegressionFromAccumulator(acc, 0.5, funcmech.WithSeed(1)); err == nil {
+		t.Fatal("poisoned logistic fold refitted")
+	}
+	if _, _, err := funcmech.FitTaskFromAccumulator(acc, "median", 0.5, funcmech.WithSeed(1)); err != nil {
+		t.Fatalf("median refit failed alongside poisoned logistic fold: %v", err)
+	}
+}
+
+// TestMedianFoldRoundTripsThroughEnvelope: a saved accumulator restores the
+// median fold bit-exactly (version-4 envelopes carry every fold).
+func TestMedianFoldRoundTripsThroughEnvelope(t *testing.T) {
+	acc, err := funcmech.NewAccumulator(incomeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, acc, incomeDataset(60, 21))
+	var buf bytes.Buffer
+	if err := acc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := funcmech.LoadAccumulator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _, err := funcmech.FitTaskFromAccumulator(acc, "median", 0.7, funcmech.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := funcmech.FitTaskFromAccumulator(back, "median", 0.7, funcmech.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWeights(t, "median envelope round-trip", m1.Weights(), m2.Weights())
+}
+
+// TestLegacyEnvelopePoisonsUnknownFolds: a pre-registry (v1–v3) snapshot
+// restores with linear and logistic intact, but folds the snapshot predates
+// (median) refuse to refit — their coefficient sums are missing records.
+func TestLegacyEnvelopePoisonsUnknownFolds(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(goldenDir, "accumulator_v3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := funcmech.LoadAccumulator(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := funcmech.LinearRegressionFromAccumulator(acc, 0.8, funcmech.WithSeed(9)); err != nil {
+		t.Fatalf("linear refit from legacy envelope: %v", err)
+	}
+	_, _, err = funcmech.FitTaskFromAccumulator(acc, "median", 0.8, funcmech.WithSeed(9))
+	if err == nil {
+		t.Fatal("median refit from a snapshot that predates the median task")
+	}
+	if !strings.Contains(err.Error(), "predates") {
+		t.Fatalf("err = %v, want a snapshot-predates-task error", err)
+	}
+}
+
+// TestV4UnknownTaskBlockIsTyped: a version-4 envelope carrying a fold for a
+// task this build does not register fails with the errors.Is-able sentinel
+// rather than silently dropping data (or panicking).
+func TestV4UnknownTaskBlockIsTyped(t *testing.T) {
+	acc, err := funcmech.NewAccumulator(incomeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, acc, incomeDataset(10, 5))
+	var buf bytes.Buffer
+	if err := acc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	var tasks map[string]json.RawMessage
+	if err := json.Unmarshal(env["tasks"], &tasks); err != nil {
+		t.Fatal(err)
+	}
+	tasks["quantile"] = tasks["linear"]
+	env["tasks"], _ = json.Marshal(tasks)
+	tampered, _ := json.Marshal(env)
+	if _, err := funcmech.LoadAccumulator(bytes.NewReader(tampered)); !errors.Is(err, funcmech.ErrUnknownTask) {
+		t.Fatalf("err = %v, want ErrUnknownTask", err)
+	}
+}
